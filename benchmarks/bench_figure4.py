@@ -1,0 +1,53 @@
+"""Figure 4 benchmark: CAFFEINE vs posynomial prediction quality.
+
+Regenerates the paper's Figure 4 -- for each performance, the testing (and
+training) error of the posynomial baseline against the CAFFEINE model picked
+at matching training error -- and writes it to
+``benchmarks/output/figure4.txt``.
+
+The timed section is one posynomial fit (template evaluation + non-negative
+least squares) on the ALF dataset, the baseline's unit of work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure4 import Figure4Result, Figure4Row, select_caffeine_model
+from repro.posynomial.model import fit_posynomial
+
+from conftest import ALL_TARGETS, write_output
+
+
+def test_figure4_comparison(benchmark, bench_datasets, bench_results):
+    # ------------------------------------------------------------------
+    # Regenerate the comparison rows from the shared CAFFEINE runs.
+    # ------------------------------------------------------------------
+    rows = []
+    for target in ALL_TARGETS:
+        train, test = bench_datasets.for_target(target)
+        posynomial = fit_posynomial(train, test)
+        caffeine_model = select_caffeine_model(bench_results[target], posynomial)
+        rows.append(Figure4Row(target=target, caffeine_model=caffeine_model,
+                               posynomial_model=posynomial))
+    figure4 = Figure4Result(rows=tuple(rows), results=bench_results)
+    write_output("figure4.txt", figure4.render())
+
+    # Shape checks mirroring the paper's findings.
+    wins = figure4.caffeine_wins()
+    assert len(wins) >= 3, f"CAFFEINE should win on most performances, got {wins}"
+    # CAFFEINE models are far more compact than the posynomial templates.
+    for row in rows:
+        assert row.caffeine_model.n_bases <= 15
+        assert row.posynomial_model.n_terms >= row.caffeine_model.n_bases
+    # On this interpolative test set CAFFEINE's testing error stays close to
+    # (and often below) its training error for most performances.
+    close_or_below = sum(1 for row in rows
+                         if row.caffeine_test <= row.caffeine_train * 1.5)
+    assert close_or_below >= 4
+
+    # ------------------------------------------------------------------
+    # Timed section: one posynomial fit on ALF.
+    # ------------------------------------------------------------------
+    train, test = bench_datasets.for_target("ALF")
+    benchmark(lambda: fit_posynomial(train, test))

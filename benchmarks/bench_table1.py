@@ -1,0 +1,45 @@
+"""Table I benchmark: compact models under 10 % train and test error.
+
+Regenerates the paper's Table I -- for each performance, the simplest
+CAFFEINE model with less than 10 % error on both training and testing data --
+and writes it to ``benchmarks/output/table1.txt``.
+
+The timed section is the Table I selection step (filtering the trade-off and
+picking the simplest eligible model) across all six performances.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import Table1Result, Table1Row, select_table1_model
+
+from conftest import ALL_TARGETS, write_output
+
+ERROR_TARGET = 0.10
+
+
+def test_table1_models(benchmark, bench_results):
+    def build_rows():
+        rows = []
+        for target in ALL_TARGETS:
+            model = select_table1_model(bench_results[target], ERROR_TARGET)
+            rows.append(Table1Row(target=target, error_target=ERROR_TARGET,
+                                  model=model))
+        return rows
+
+    rows = benchmark(build_rows)
+
+    table1 = Table1Result(rows=tuple(rows), results=bench_results,
+                          error_target=ERROR_TARGET)
+    write_output("table1.txt", table1.render())
+
+    satisfied = [row.target for row in rows if row.satisfied]
+    # The paper reports a <10% model for every performance; at the reduced
+    # benchmark budget we require it for a clear majority.
+    assert len(satisfied) >= 4, f"only {satisfied} met the 10% target"
+    # Those models must be compact (the paper: at most 4 bases + constant for
+    # the 10% band; we allow a little slack at the reduced budget).
+    for row in rows:
+        if row.satisfied:
+            assert row.n_bases <= 8
+            assert row.model.train_error <= ERROR_TARGET
+            assert row.model.test_error <= ERROR_TARGET

@@ -1,0 +1,35 @@
+"""Table II benchmark: the phase-margin model sequence.
+
+Regenerates the paper's Table II -- CAFFEINE-generated models of PM in order
+of decreasing error and increasing complexity -- and writes it to
+``benchmarks/output/table2.txt``.
+
+The timed section is the Table II construction (ordering and filtering the
+models of the PM run, including the testing-error trade-off filtering).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import run_table2
+
+from conftest import write_output
+
+
+def test_table2_pm_sequence(benchmark, bench_results):
+    result = bench_results["PM"]
+
+    table2 = benchmark(lambda: run_table2(result=result, target="PM"))
+
+    write_output("table2.txt", table2.render())
+
+    # Shape checks mirroring the paper's Table II discussion.
+    assert table2.n_models >= 3, "expected a sequence of PM models"
+    assert table2.errors_decrease_with_complexity()
+    # The simplest model is (nearly) a constant around 90 degrees: few bases
+    # and an intercept in the right range.
+    simplest = table2.models[0]
+    assert simplest.n_bases <= 2
+    assert 80.0 < simplest.fit.intercept < 100.0
+    # The most complex listed model is the most accurate on training data.
+    assert table2.models[-1].train_error == min(m.train_error
+                                                for m in table2.models)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Using the circuit substrate directly: devices, netlists, DC and AC analysis.
+
+CAFFEINE only consumes sample tables, but the data has to come from
+somewhere; the paper uses SPICE, this library ships a small analog simulator.
+This example exercises that substrate on its own:
+
+1. size a MOSFET from an operating point (the operating-point-driven
+   formulation used for the OTA's design variables);
+2. build and solve a single-transistor common-source amplifier at DC and
+   check it against hand analysis;
+3. run an AC sweep of the OTA's small-signal netlist and extract gain,
+   unity-gain frequency and phase margin, comparing them with the analytic
+   operating-point model.
+
+Run with::
+
+    python examples/circuit_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import (
+    Circuit,
+    MosfetModel,
+    OTA_NOMINAL_POINT,
+    SymmetricalOta,
+    ac_analysis,
+    solve_dc,
+    transfer_function,
+)
+from repro.circuits.ac import logspace_frequencies
+from repro.circuits.performance import FrequencyResponse
+
+
+def operating_point_demo() -> None:
+    print("1. Operating-point-driven sizing")
+    model = MosfetModel("nmos")
+    op = model.from_operating_point(id=50e-6, vgs=1.0, vds=1.5)
+    print(f"   NMOS @ id=50uA, vgs=1.0V, vds=1.5V -> W = {op.width_um:.2f} um, "
+          f"gm = {op.gm * 1e6:.1f} uS, gds = {op.gds * 1e6:.2f} uS, "
+          f"gm/gds = {op.intrinsic_gain:.1f}")
+
+
+def common_source_demo() -> None:
+    print("\n2. Common-source amplifier, DC operating point")
+    nmos = MosfetModel("nmos")
+    circuit = Circuit("common_source")
+    circuit.voltage_source("vdd", "vdd", "0", dc=5.0)
+    circuit.voltage_source("vin", "g", "0", dc=1.2, ac=1.0)
+    circuit.resistor("rload", "vdd", "d", 20e3)
+    circuit.mosfet("m1", "d", "g", "0", nmos, width_um=5.0)
+
+    solution = solve_dc(circuit)
+    device = solution.device("m1")
+    print(f"   V(d) = {solution.voltage('d'):.3f} V, Id = {device.id * 1e6:.1f} uA, "
+          f"region = {device.region}")
+    hand_gain = device.gm * (1.0 / (1.0 / 50e3 + device.gds))
+    frequencies = logspace_frequencies(10.0, 1e6, 10)
+    response = transfer_function(circuit, "vin", "d", frequencies,
+                                 dc_solution=solution)
+    print(f"   |A| at low frequency: simulated {abs(response[0]):.2f}, "
+          f"hand analysis gm*(Rload||ro) = {hand_gain:.2f}")
+
+
+def ota_demo() -> None:
+    print("\n3. OTA small-signal AC analysis vs analytic model")
+    ota = SymmetricalOta()
+    analytic = ota.performances(OTA_NOMINAL_POINT)
+    circuit = ota.small_signal_circuit(OTA_NOMINAL_POINT)
+    frequencies = logspace_frequencies(10.0, 1e9, 25)
+    sweep = ac_analysis(circuit, frequencies)
+    response = FrequencyResponse(frequencies, sweep.voltage("out"))
+    print(f"   analytic : ALF = {analytic.alf_db:6.2f} dB, "
+          f"fu = {analytic.fu_hz / 1e6:6.2f} MHz, PM = {analytic.pm_degrees:5.1f} deg")
+    print(f"   netlist  : ALF = {response.dc_gain_db():6.2f} dB, "
+          f"fu = {response.unity_gain_frequency() / 1e6:6.2f} MHz, "
+          f"PM = {response.phase_margin():5.1f} deg")
+    print(f"   slew rates (analytic): SRp = {analytic.srp_v_per_s / 1e6:.2f} V/us, "
+          f"SRn = {analytic.srn_v_per_s / 1e6:.2f} V/us, "
+          f"offset = {analytic.voffset_v * 1e3:.2f} mV")
+
+
+def main() -> None:
+    operating_point_demo()
+    common_source_demo()
+    ota_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""CAFFEINE reproduction: template-free symbolic models of analog circuits.
+
+This package reproduces McConaghy, Eeckelaert & Gielen, *CAFFEINE:
+Template-Free Symbolic Model Generation of Analog Circuits via Canonical Form
+Functions and Genetic Programming* (DATE 2005), as a complete Python library:
+
+* :mod:`repro.core` -- the CAFFEINE algorithm: canonical-form grammar,
+  grammar-respecting genetic operators, NSGA-II error/complexity search,
+  PRESS-based simplification;
+* :mod:`repro.circuits` -- the data-generation substrate: square-law MOSFETs,
+  MNA-based DC/AC analysis, and the symmetrical CMOS OTA whose six
+  performances the paper models;
+* :mod:`repro.doe` -- orthogonal-hypercube design-of-experiments sampling;
+* :mod:`repro.data` -- datasets and the error metrics (qwc/qtc);
+* :mod:`repro.posynomial` -- the posynomial baseline of the paper's Figure 4;
+* :mod:`repro.gp` -- an unrestricted (template-free but grammar-free) GP
+  baseline used for ablations;
+* :mod:`repro.experiments` -- drivers that regenerate every table and figure
+  of the paper's evaluation section.
+
+Quick start::
+
+    from repro import CaffeineSettings, run_caffeine
+    from repro.experiments import generate_ota_datasets
+
+    datasets = generate_ota_datasets()
+    train, test = datasets.for_target("PM")
+    result = run_caffeine(train, test, CaffeineSettings(population_size=60,
+                                                        n_generations=25))
+    print(result.best_model().expression())
+"""
+
+from repro.core import (
+    CaffeineEngine,
+    CaffeineResult,
+    CaffeineSettings,
+    FunctionSet,
+    SymbolicModel,
+    TradeoffSet,
+    default_function_set,
+    polynomial_function_set,
+    rational_function_set,
+    run_caffeine,
+)
+from repro.data import Dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "run_caffeine",
+    "CaffeineEngine",
+    "CaffeineResult",
+    "CaffeineSettings",
+    "SymbolicModel",
+    "TradeoffSet",
+    "FunctionSet",
+    "default_function_set",
+    "rational_function_set",
+    "polynomial_function_set",
+    "Dataset",
+]

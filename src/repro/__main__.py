@@ -1,0 +1,93 @@
+"""Command-line interface: regenerate the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro figure3 --targets PM SRp --population 60 --generations 20
+    python -m repro table1
+    python -m repro table2
+    python -m repro figure4
+    python -m repro ablation --target SRp
+    python -m repro datasets            # print the dataset summary only
+
+Every command samples the OTA datasets (243-run orthogonal hypercube,
+dx=0.10 train / dx=0.03 test), runs the requested experiment at the chosen
+budget and prints the paper-style table or series to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.settings import CaffeineSettings
+from repro.experiments import (
+    generate_ota_datasets,
+    run_ablation,
+    run_figure3,
+    run_figure4,
+    run_table1,
+    run_table2,
+)
+
+COMMANDS = ("datasets", "figure3", "table1", "table2", "figure4", "ablation")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CAFFEINE reproduction: regenerate the paper's experiments.")
+    parser.add_argument("command", choices=COMMANDS,
+                        help="which artifact to regenerate")
+    parser.add_argument("--targets", nargs="*", default=None,
+                        help="performance goals (default: all six)")
+    parser.add_argument("--target", default="PM",
+                        help="single performance for table2/ablation (default: PM)")
+    parser.add_argument("--population", type=int, default=80,
+                        help="population size (default: 80)")
+    parser.add_argument("--generations", type=int, default=30,
+                        help="number of generations (default: 30)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="random seed (default: 0)")
+    parser.add_argument("--runs", type=int, default=243,
+                        help="DOE runs per dataset, a power of 3 (default: 243)")
+    parser.add_argument("--paper-budget", action="store_true",
+                        help="use the paper's full budget (population 200, "
+                             "5000 generations; hours per performance)")
+    return parser
+
+
+def settings_from_args(args: argparse.Namespace) -> CaffeineSettings:
+    if args.paper_budget:
+        return CaffeineSettings.paper_settings(random_seed=args.seed)
+    return CaffeineSettings(population_size=args.population,
+                            n_generations=args.generations,
+                            random_seed=args.seed)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    datasets = generate_ota_datasets(n_runs=args.runs)
+    print(datasets.summary())
+    if args.command == "datasets":
+        return 0
+
+    settings = settings_from_args(args)
+    print(f"\nCAFFEINE settings: population {settings.population_size}, "
+          f"{settings.n_generations} generations, seed {settings.random_seed}\n")
+
+    if args.command == "figure3":
+        print(run_figure3(datasets, settings, targets=args.targets).render())
+    elif args.command == "table1":
+        print(run_table1(datasets, settings, targets=args.targets).render())
+    elif args.command == "table2":
+        print(run_table2(datasets, settings, target=args.target).render())
+    elif args.command == "figure4":
+        print(run_figure4(datasets, settings, targets=args.targets).render())
+    elif args.command == "ablation":
+        print(run_ablation(datasets, settings, target=args.target).render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Small-signal AC analysis.
+
+Given a circuit and its DC operating point, every MOSFET is replaced by its
+small-signal model (a VCCS of value ``gm``, an output conductance ``gds`` and
+the gate/junction capacitances), and the resulting linear complex-valued MNA
+system is solved over a list of frequencies.  The OTA performance extraction
+(:mod:`repro.circuits.performance`) consumes the resulting frequency response.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.dc import DCSolution, solve_dc
+from repro.circuits.mna import (
+    MnaIndex,
+    build_linear_system,
+    stamp_conductance,
+    stamp_vccs,
+)
+from repro.circuits.netlist import Circuit, Mosfet
+
+__all__ = ["ACSweep", "ac_analysis", "transfer_function", "logspace_frequencies"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ACSweep:
+    """Result of an AC analysis: complex node voltages per frequency."""
+
+    frequencies_hz: np.ndarray
+    node_voltages: Dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex voltage phasor at a node across the sweep."""
+        if node in ("0", "gnd", "GND"):
+            return np.zeros_like(self.frequencies_hz, dtype=complex)
+        return self.node_voltages[node]
+
+    @property
+    def n_points(self) -> int:
+        return int(self.frequencies_hz.shape[0])
+
+
+def logspace_frequencies(f_start: float = 1.0, f_stop: float = 1e9,
+                         points_per_decade: int = 20) -> np.ndarray:
+    """Logarithmically spaced frequency grid, SPICE ``.AC DEC`` style."""
+    if f_start <= 0 or f_stop <= f_start:
+        raise ValueError("need 0 < f_start < f_stop")
+    if points_per_decade < 1:
+        raise ValueError("points_per_decade must be >= 1")
+    decades = np.log10(f_stop / f_start)
+    n_points = max(2, int(round(decades * points_per_decade)) + 1)
+    return np.logspace(np.log10(f_start), np.log10(f_stop), n_points)
+
+
+def _stamp_mosfet_small_signal(circuit: Circuit, index: MnaIndex,
+                               matrix: np.ndarray, omega: float,
+                               dc_solution: DCSolution) -> None:
+    """Stamp the small-signal model of every MOSFET at angular frequency omega."""
+    for mosfet in circuit.mosfets():
+        op = dc_solution.device(mosfet.name)
+        d = index.node(mosfet.drain)
+        g = index.node(mosfet.gate)
+        s = index.node(mosfet.source)
+        if mosfet.model.polarity == "nmos":
+            ctrl_pos, ctrl_neg = g, s
+            out_pos, out_neg = d, s
+        else:
+            ctrl_pos, ctrl_neg = s, g
+            out_pos, out_neg = s, d
+        stamp_vccs(matrix, out_pos, out_neg, ctrl_pos, ctrl_neg, op.gm)
+        stamp_conductance(matrix, out_pos, out_neg, op.gds)
+        if omega > 0.0:
+            stamp_conductance(matrix, g, s, 1j * omega * op.cgs)
+            stamp_conductance(matrix, g, d, 1j * omega * op.cgd)
+            stamp_conductance(matrix, d, -1, 1j * omega * op.cdb)
+
+
+def ac_analysis(circuit: Circuit, frequencies_hz: Sequence[float],
+                dc_solution: Optional[DCSolution] = None) -> ACSweep:
+    """Run an AC sweep of ``circuit`` over the given frequencies.
+
+    The DC operating point is computed first (or reused if provided).  The AC
+    excitation comes from the ``ac`` values of the independent sources.
+    """
+    if dc_solution is None:
+        dc_solution = solve_dc(circuit)
+    index = MnaIndex.from_circuit(circuit)
+    freqs = np.asarray(list(frequencies_hz), dtype=float)
+    if freqs.ndim != 1 or freqs.size == 0:
+        raise ValueError("frequencies_hz must be a non-empty 1-D sequence")
+    if np.any(freqs < 0):
+        raise ValueError("frequencies must be non-negative")
+
+    voltages = {name: np.zeros(freqs.size, dtype=complex)
+                for name in index.node_index}
+    for k, frequency in enumerate(freqs):
+        omega = 2.0 * np.pi * frequency
+        matrix, rhs = build_linear_system(circuit, index, omega=omega,
+                                          use_ac_values=True, dtype=complex)
+        _stamp_mosfet_small_signal(circuit, index, matrix, omega, dc_solution)
+        x = np.linalg.solve(matrix, rhs)
+        for name, i in index.node_index.items():
+            voltages[name][k] = x[i]
+    return ACSweep(frequencies_hz=freqs, node_voltages=voltages)
+
+
+def transfer_function(circuit: Circuit, input_source: str, output_node: str,
+                      frequencies_hz: Sequence[float],
+                      dc_solution: Optional[DCSolution] = None) -> np.ndarray:
+    """Complex transfer function ``V(output_node) / AC(input_source)``.
+
+    ``input_source`` must be the name of a voltage or current source whose
+    ``ac`` value is non-zero.
+    """
+    if input_source not in circuit:
+        raise KeyError(f"no element named {input_source!r} in circuit")
+    source = circuit[input_source]
+    excitation = getattr(source, "ac", 0.0)
+    if excitation == 0.0:
+        raise ValueError(
+            f"source {input_source!r} has zero AC magnitude; set ac=1.0 to probe"
+        )
+    sweep = ac_analysis(circuit, frequencies_hz, dc_solution=dc_solution)
+    return sweep.voltage(output_node) / excitation

@@ -1,0 +1,189 @@
+"""Newton-Raphson DC operating-point analysis.
+
+Solves the nonlinear MNA system of a :class:`~repro.circuits.netlist.Circuit`
+containing square-law MOSFETs.  Each Newton iteration stamps every MOSFET
+with its linearized companion model at the current voltage estimate:
+a transconductance ``gm`` (gate-source controlled), an output conductance
+``gds`` (drain-source) and an equivalent current source so that the
+linearized device carries exactly the nonlinear current at the expansion
+point.  Source stepping is used as a fallback homotopy when plain Newton
+fails to converge -- the same strategy SPICE uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuits.mna import MnaIndex, build_linear_system, stamp_conductance, \
+    stamp_current, stamp_vccs
+from repro.circuits.mosfet import MosfetOperatingPoint
+from repro.circuits.netlist import Circuit, Mosfet
+
+__all__ = ["DCSolution", "ConvergenceError", "solve_dc"]
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the Newton iteration fails to converge.
+
+    The paper notes that some of its 243 SPICE samples "did not converge";
+    the reproduction's data-generation code treats this exception the same
+    way (the sample's performance values become NaN and are filtered out).
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class DCSolution:
+    """Result of a DC operating-point analysis."""
+
+    node_voltages: Dict[str, float]
+    source_currents: Dict[str, float]
+    device_operating_points: Dict[str, MosfetOperatingPoint]
+    iterations: int
+
+    def voltage(self, node: str) -> float:
+        """Voltage of a node (0.0 for ground)."""
+        if node in ("0", "gnd", "GND"):
+            return 0.0
+        return self.node_voltages[node]
+
+    def device(self, name: str) -> MosfetOperatingPoint:
+        """Operating point of a MOSFET by element name."""
+        return self.device_operating_points[name]
+
+
+def _device_voltages(mosfet: Mosfet, voltages: Dict[str, float]) -> tuple[float, float]:
+    """(|vgs|, |vds|) for a MOSFET given the node-voltage dictionary."""
+    def v(node: str) -> float:
+        return 0.0 if node in ("0", "gnd", "GND") else voltages.get(node, 0.0)
+    return mosfet.bias_magnitudes(v(mosfet.drain), v(mosfet.gate), v(mosfet.source))
+
+
+def _stamp_mosfets(circuit: Circuit, index: MnaIndex, matrix: np.ndarray,
+                   rhs: np.ndarray, voltages: Dict[str, float],
+                   gmin: float) -> None:
+    """Stamp every MOSFET's linearized companion model at ``voltages``."""
+    for mosfet in circuit.mosfets():
+        vgs, vds = _device_voltages(mosfet, voltages)
+        current = mosfet.model.drain_current(mosfet.width_um, vgs, max(vds, 0.0))
+        gm, gds = mosfet.model.conductances(mosfet.width_um, vgs, max(vds, 0.0))
+        gds += gmin
+
+        d = index.node(mosfet.drain)
+        g = index.node(mosfet.gate)
+        s = index.node(mosfet.source)
+
+        if mosfet.model.polarity == "nmos":
+            ctrl_pos, ctrl_neg = g, s
+            out_pos, out_neg = d, s
+            signed_current = current
+        else:
+            # For PMOS, vgs_magnitude = v(s) - v(g) and current flows source->drain.
+            ctrl_pos, ctrl_neg = s, g
+            out_pos, out_neg = s, d
+            signed_current = current
+
+        # Companion model: i = I0 + gm * dVctrl + gds * dVout
+        stamp_vccs(matrix, out_pos, out_neg, ctrl_pos, ctrl_neg, gm)
+        stamp_conductance(matrix, out_pos, out_neg, gds)
+
+        def node_voltage(name: str) -> float:
+            return 0.0 if name in ("0", "gnd", "GND") else voltages.get(name, 0.0)
+
+        if mosfet.model.polarity == "nmos":
+            v_ctrl = node_voltage(mosfet.gate) - node_voltage(mosfet.source)
+            v_out = node_voltage(mosfet.drain) - node_voltage(mosfet.source)
+        else:
+            v_ctrl = node_voltage(mosfet.source) - node_voltage(mosfet.gate)
+            v_out = node_voltage(mosfet.source) - node_voltage(mosfet.drain)
+        equivalent = signed_current - gm * v_ctrl - gds * v_out
+        stamp_current(rhs, out_pos, out_neg, equivalent)
+
+
+def _voltages_from_solution(index: MnaIndex, x: np.ndarray) -> Dict[str, float]:
+    return {name: float(x[i]) for name, i in index.node_index.items()}
+
+
+def solve_dc(circuit: Circuit, max_iterations: int = 200,
+             tolerance: float = 1e-9, gmin: float = 1e-12,
+             initial_voltages: Optional[Dict[str, float]] = None,
+             source_steps: int = 10) -> DCSolution:
+    """Compute the DC operating point of ``circuit``.
+
+    Plain Newton-Raphson is attempted first; if it fails, source stepping
+    (ramping all independent sources from 0 to their full value) is used.
+    Raises :class:`ConvergenceError` if both fail.
+    """
+    index = MnaIndex.from_circuit(circuit)
+
+    def newton(scale: float, start: Dict[str, float]) -> Dict[str, float]:
+        voltages = dict(start)
+        previous = None
+        for iteration in range(max_iterations):
+            matrix, rhs = build_linear_system(circuit, index, omega=0.0)
+            matrix *= 1.0  # keep dtype float
+            rhs *= scale
+            # scale also the voltage-source rows stamped inside build_linear_system
+            _stamp_mosfets(circuit, index, matrix, rhs, voltages, gmin)
+            try:
+                x = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(f"singular MNA matrix: {exc}") from exc
+            new_voltages = _voltages_from_solution(index, x)
+            if previous is not None:
+                delta = max((abs(new_voltages[k] - previous[k])
+                             for k in new_voltages), default=0.0)
+                if delta < tolerance:
+                    return new_voltages
+            previous = new_voltages
+            # Damped update for robustness.
+            voltages = {
+                k: 0.5 * voltages.get(k, 0.0) + 0.5 * v
+                for k, v in new_voltages.items()
+            }
+        raise ConvergenceError(
+            f"Newton iteration did not converge in {max_iterations} iterations"
+        )
+
+    start = dict(initial_voltages or {})
+    for name in index.node_index:
+        start.setdefault(name, 0.0)
+
+    try:
+        final_voltages = newton(1.0, start)
+        converged_via = "newton"
+    except ConvergenceError:
+        # Source stepping homotopy.
+        voltages = dict(start)
+        final_voltages = None
+        for step in range(1, source_steps + 1):
+            scale = step / source_steps
+            voltages = newton(scale, voltages)
+            final_voltages = voltages
+        converged_via = "source-stepping"
+        if final_voltages is None:  # pragma: no cover - defensive
+            raise
+
+    # Final assembly to recover branch currents and device operating points.
+    matrix, rhs = build_linear_system(circuit, index, omega=0.0)
+    _stamp_mosfets(circuit, index, matrix, rhs, final_voltages, gmin)
+    x = np.linalg.solve(matrix, rhs)
+
+    source_currents = {
+        name: float(x[index.source(name)]) for name in index.source_index
+    }
+    device_ops: Dict[str, MosfetOperatingPoint] = {}
+    for mosfet in circuit.mosfets():
+        vgs, vds = _device_voltages(mosfet, final_voltages)
+        device_ops[mosfet.name] = mosfet.model.evaluate(
+            mosfet.width_um, vgs, max(vds, 0.0))
+
+    iterations = max_iterations if converged_via == "source-stepping" else 0
+    return DCSolution(
+        node_voltages=final_voltages,
+        source_currents=source_currents,
+        device_operating_points=device_ops,
+        iterations=iterations,
+    )

@@ -1,0 +1,173 @@
+"""Modified nodal analysis (MNA) system assembly.
+
+MNA builds a linear system ``A @ x = z`` where the unknowns ``x`` are the
+node voltages plus one branch current per independent voltage source.  The
+functions here stamp the linear elements; nonlinear MOSFETs are stamped by
+the Newton iteration in :mod:`repro.circuits.dc` using their linearized
+companion model (``gm``, ``gds`` and an equivalent current source), and by
+:mod:`repro.circuits.ac` using the small-signal parameters at the DC
+operating point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.circuits.netlist import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    GROUND_NAMES,
+    Resistor,
+    VoltageControlledCurrentSource,
+    VoltageSource,
+)
+
+__all__ = ["MnaIndex", "stamp_conductance", "stamp_current",
+           "stamp_vccs", "stamp_voltage_source", "build_linear_system"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MnaIndex:
+    """Mapping from node / source names to MNA unknown indices.
+
+    Ground nodes map to ``-1`` and are skipped when stamping.
+    """
+
+    node_index: Dict[str, int]
+    source_index: Dict[str, int]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_index)
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.source_index)
+
+    @property
+    def size(self) -> int:
+        """Total number of MNA unknowns."""
+        return self.n_nodes + self.n_sources
+
+    def node(self, name: str) -> int:
+        """Index of a node, or -1 for ground."""
+        if name in GROUND_NAMES:
+            return -1
+        return self.node_index[name]
+
+    def source(self, name: str) -> int:
+        """Row/column index of a voltage-source branch current."""
+        return self.n_nodes + self.source_index[name]
+
+    @classmethod
+    def from_circuit(cls, circuit: Circuit) -> "MnaIndex":
+        nodes = {name: i for i, name in enumerate(circuit.node_names())}
+        sources = {vs.name: i for i, vs in enumerate(circuit.voltage_sources())}
+        return cls(node_index=nodes, source_index=sources)
+
+
+def stamp_conductance(matrix: np.ndarray, i: int, j: int, g: complex) -> None:
+    """Stamp a conductance ``g`` between unknowns ``i`` and ``j`` (-1 = ground)."""
+    if i >= 0:
+        matrix[i, i] += g
+    if j >= 0:
+        matrix[j, j] += g
+    if i >= 0 and j >= 0:
+        matrix[i, j] -= g
+        matrix[j, i] -= g
+
+
+def stamp_current(rhs: np.ndarray, i: int, j: int, current: complex) -> None:
+    """Stamp a current ``current`` flowing from unknown ``i`` into unknown ``j``."""
+    if i >= 0:
+        rhs[i] -= current
+    if j >= 0:
+        rhs[j] += current
+
+
+def stamp_vccs(matrix: np.ndarray, out_pos: int, out_neg: int,
+               ctrl_pos: int, ctrl_neg: int, gm: complex) -> None:
+    """Stamp a voltage-controlled current source.
+
+    Current ``gm * (v(ctrl_pos) - v(ctrl_neg))`` flows from ``out_pos`` to
+    ``out_neg`` (i.e. out of node ``out_pos``).
+    """
+    for out_node, sign_out in ((out_pos, 1.0), (out_neg, -1.0)):
+        if out_node < 0:
+            continue
+        if ctrl_pos >= 0:
+            matrix[out_node, ctrl_pos] += sign_out * gm
+        if ctrl_neg >= 0:
+            matrix[out_node, ctrl_neg] -= sign_out * gm
+
+
+def stamp_voltage_source(matrix: np.ndarray, rhs: np.ndarray, branch: int,
+                         node_pos: int, node_neg: int, value: complex) -> None:
+    """Stamp an independent voltage source with its branch-current unknown."""
+    if node_pos >= 0:
+        matrix[node_pos, branch] += 1.0
+        matrix[branch, node_pos] += 1.0
+    if node_neg >= 0:
+        matrix[node_neg, branch] -= 1.0
+        matrix[branch, node_neg] -= 1.0
+    rhs[branch] += value
+
+
+def build_linear_system(circuit: Circuit, index: MnaIndex,
+                        omega: float = 0.0, use_ac_values: bool = False,
+                        dtype: type = float) -> Tuple[np.ndarray, np.ndarray]:
+    """Assemble the MNA matrix and right-hand side for the *linear* elements.
+
+    Parameters
+    ----------
+    omega:
+        Angular frequency; capacitors contribute ``j*omega*C`` when non-zero
+        (requires ``dtype=complex``), and are open circuits at DC.
+    use_ac_values:
+        When True, independent sources are stamped with their AC magnitudes
+        (small-signal excitation); otherwise with their DC values.
+    """
+    n = index.size
+    matrix = np.zeros((n, n), dtype=dtype)
+    rhs = np.zeros(n, dtype=dtype)
+
+    for element in circuit:
+        if isinstance(element, Resistor):
+            stamp_conductance(matrix,
+                              index.node(element.node_pos),
+                              index.node(element.node_neg),
+                              element.conductance)
+        elif isinstance(element, Capacitor):
+            if omega > 0.0:
+                admittance = 1j * omega * element.capacitance
+                stamp_conductance(matrix,
+                                  index.node(element.node_pos),
+                                  index.node(element.node_neg),
+                                  admittance)
+            # open circuit at DC: no stamp
+        elif isinstance(element, CurrentSource):
+            value = element.ac if use_ac_values else element.dc
+            stamp_current(rhs,
+                          index.node(element.node_pos),
+                          index.node(element.node_neg),
+                          value)
+        elif isinstance(element, VoltageControlledCurrentSource):
+            stamp_vccs(matrix,
+                       index.node(element.node_pos),
+                       index.node(element.node_neg),
+                       index.node(element.ctrl_pos),
+                       index.node(element.ctrl_neg),
+                       element.transconductance)
+        elif isinstance(element, VoltageSource):
+            value = element.ac if use_ac_values else element.dc
+            stamp_voltage_source(matrix, rhs,
+                                 index.source(element.name),
+                                 index.node(element.node_pos),
+                                 index.node(element.node_neg),
+                                 value)
+        # Mosfets are stamped by the DC / AC analyses.
+    return matrix, rhs

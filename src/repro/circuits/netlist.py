@@ -1,0 +1,254 @@
+"""Netlist representation for the reproduction's circuit simulator.
+
+A :class:`Circuit` is a list of elements connected between named nodes, with
+``"0"`` (or ``"gnd"``) as the reference node.  The element set is the minimum
+needed to describe the paper's OTA testbench and the circuits used in the
+test suite: resistors, capacitors, independent voltage/current sources,
+voltage-controlled current sources and square-law MOSFETs.
+
+The classes here only *describe* the network; analysis lives in
+:mod:`repro.circuits.mna`, :mod:`repro.circuits.dc` and
+:mod:`repro.circuits.ac`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuits.mosfet import MosfetModel
+
+__all__ = [
+    "CircuitElement",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "VoltageControlledCurrentSource",
+    "Mosfet",
+    "Circuit",
+    "GROUND_NAMES",
+]
+
+#: Node names treated as the reference (ground) node.
+GROUND_NAMES = frozenset({"0", "gnd", "GND"})
+
+
+@dataclasses.dataclass(frozen=True)
+class CircuitElement:
+    """Base class for all netlist elements."""
+
+    name: str
+
+    def nodes(self) -> Tuple[str, ...]:
+        """Names of the nodes this element connects to."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class Resistor(CircuitElement):
+    """Linear resistor between ``node_pos`` and ``node_neg``."""
+
+    node_pos: str = "0"
+    node_neg: str = "0"
+    resistance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise ValueError(f"resistor {self.name}: resistance must be positive")
+
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.node_pos, self.node_neg)
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+
+@dataclasses.dataclass(frozen=True)
+class Capacitor(CircuitElement):
+    """Linear capacitor between ``node_pos`` and ``node_neg``.
+
+    Open circuit at DC; admittance ``j*omega*C`` in AC analysis.
+    """
+
+    node_pos: str = "0"
+    node_neg: str = "0"
+    capacitance: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise ValueError(f"capacitor {self.name}: capacitance must be >= 0")
+
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.node_pos, self.node_neg)
+
+
+@dataclasses.dataclass(frozen=True)
+class VoltageSource(CircuitElement):
+    """Independent voltage source with a DC value and an AC magnitude."""
+
+    node_pos: str = "0"
+    node_neg: str = "0"
+    dc: float = 0.0
+    ac: float = 0.0
+
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.node_pos, self.node_neg)
+
+
+@dataclasses.dataclass(frozen=True)
+class CurrentSource(CircuitElement):
+    """Independent current source, flowing from ``node_pos`` to ``node_neg``."""
+
+    node_pos: str = "0"
+    node_neg: str = "0"
+    dc: float = 0.0
+    ac: float = 0.0
+
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.node_pos, self.node_neg)
+
+
+@dataclasses.dataclass(frozen=True)
+class VoltageControlledCurrentSource(CircuitElement):
+    """Current ``gm * (v(ctrl_pos) - v(ctrl_neg))`` from ``node_pos`` to ``node_neg``."""
+
+    node_pos: str = "0"
+    node_neg: str = "0"
+    ctrl_pos: str = "0"
+    ctrl_neg: str = "0"
+    transconductance: float = 0.0
+
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.node_pos, self.node_neg, self.ctrl_pos, self.ctrl_neg)
+
+
+@dataclasses.dataclass(frozen=True)
+class Mosfet(CircuitElement):
+    """Square-law MOSFET instance.
+
+    ``model`` supplies polarity, technology and channel length; ``width_um``
+    is the instance width.  Bulk is assumed tied to the source (no body
+    effect), which is adequate for the OTA topologies modeled here.
+    """
+
+    drain: str = "0"
+    gate: str = "0"
+    source: str = "0"
+    model: MosfetModel = dataclasses.field(default_factory=lambda: MosfetModel("nmos"))
+    width_um: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.width_um <= 0:
+            raise ValueError(f"mosfet {self.name}: width must be positive")
+
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.drain, self.gate, self.source)
+
+    def bias_magnitudes(self, v_drain: float, v_gate: float, v_source: float
+                        ) -> Tuple[float, float]:
+        """(|vgs|, |vds|) seen by the square-law model for given node voltages."""
+        if self.model.polarity == "nmos":
+            return v_gate - v_source, v_drain - v_source
+        return v_source - v_gate, v_source - v_drain
+
+    def current_direction(self) -> int:
+        """+1 if positive drain current flows drain->source (NMOS), else -1."""
+        return 1 if self.model.polarity == "nmos" else -1
+
+
+class Circuit:
+    """A named collection of elements plus node bookkeeping."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._elements: List[CircuitElement] = []
+        self._names: Dict[str, CircuitElement] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, element: CircuitElement) -> CircuitElement:
+        """Add an element; element names must be unique within the circuit."""
+        if element.name in self._names:
+            raise ValueError(f"duplicate element name {element.name!r}")
+        self._elements.append(element)
+        self._names[element.name] = element
+        return element
+
+    def extend(self, elements: Sequence[CircuitElement]) -> None:
+        for element in elements:
+            self.add(element)
+
+    def __iter__(self) -> Iterator[CircuitElement]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __getitem__(self, name: str) -> CircuitElement:
+        return self._names[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    # ------------------------------------------------------------------
+    def elements_of_type(self, element_type: type) -> List[CircuitElement]:
+        """All elements of a given class, in insertion order."""
+        return [e for e in self._elements if isinstance(e, element_type)]
+
+    def node_names(self) -> Tuple[str, ...]:
+        """All non-ground node names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for element in self._elements:
+            for node in element.nodes():
+                if node not in GROUND_NAMES and node not in seen:
+                    seen[node] = None
+        return tuple(seen.keys())
+
+    def voltage_sources(self) -> List[VoltageSource]:
+        return [e for e in self._elements if isinstance(e, VoltageSource)]
+
+    def mosfets(self) -> List[Mosfet]:
+        return [e for e in self._elements if isinstance(e, Mosfet)]
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    def resistor(self, name: str, node_pos: str, node_neg: str,
+                 resistance: float) -> Resistor:
+        return self.add(Resistor(name, node_pos, node_neg, resistance))  # type: ignore[return-value]
+
+    def capacitor(self, name: str, node_pos: str, node_neg: str,
+                  capacitance: float) -> Capacitor:
+        return self.add(Capacitor(name, node_pos, node_neg, capacitance))  # type: ignore[return-value]
+
+    def voltage_source(self, name: str, node_pos: str, node_neg: str,
+                       dc: float = 0.0, ac: float = 0.0) -> VoltageSource:
+        return self.add(VoltageSource(name, node_pos, node_neg, dc, ac))  # type: ignore[return-value]
+
+    def current_source(self, name: str, node_pos: str, node_neg: str,
+                       dc: float = 0.0, ac: float = 0.0) -> CurrentSource:
+        return self.add(CurrentSource(name, node_pos, node_neg, dc, ac))  # type: ignore[return-value]
+
+    def vccs(self, name: str, node_pos: str, node_neg: str, ctrl_pos: str,
+             ctrl_neg: str, transconductance: float
+             ) -> VoltageControlledCurrentSource:
+        return self.add(VoltageControlledCurrentSource(
+            name, node_pos, node_neg, ctrl_pos, ctrl_neg, transconductance))  # type: ignore[return-value]
+
+    def mosfet(self, name: str, drain: str, gate: str, source: str,
+               model: MosfetModel, width_um: float) -> Mosfet:
+        return self.add(Mosfet(name, drain, gate, source, model, width_um))  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Short textual netlist listing, useful for debugging."""
+        lines = [f"Circuit {self.name!r}: {len(self)} elements,"
+                 f" {len(self.node_names())} nodes"]
+        for element in self._elements:
+            lines.append(f"  {type(element).__name__} {element.name}"
+                         f" @ {', '.join(element.nodes())}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Circuit(name={self.name!r}, elements={len(self)})"

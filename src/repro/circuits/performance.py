@@ -1,0 +1,165 @@
+"""Performance extraction from small-signal frequency responses.
+
+The paper models six OTA performances; three of them (``ALF``, ``fu``,
+``PM``) are properties of the open-loop gain's frequency response.  This
+module extracts them from either a sampled :class:`FrequencyResponse`
+(produced by the MNA AC analysis) or from an analytic pole description
+(produced by the operating-point OTA model).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "FrequencyResponse",
+    "gain_db",
+    "unity_gain_frequency",
+    "phase_margin",
+    "phase_margin_from_poles",
+    "unity_gain_frequency_from_poles",
+]
+
+
+def gain_db(magnitude: float) -> float:
+    """Magnitude in decibels, ``20*log10(|H|)``."""
+    if magnitude <= 0:
+        return float("-inf")
+    return 20.0 * math.log10(magnitude)
+
+
+@dataclasses.dataclass(frozen=True)
+class FrequencyResponse:
+    """A sampled complex transfer function ``H(f)``."""
+
+    frequencies_hz: np.ndarray
+    response: np.ndarray
+
+    def __post_init__(self) -> None:
+        freqs = np.asarray(self.frequencies_hz, dtype=float)
+        resp = np.asarray(self.response, dtype=complex)
+        if freqs.ndim != 1 or resp.ndim != 1 or freqs.shape != resp.shape:
+            raise ValueError("frequencies and response must be 1-D of equal length")
+        if freqs.size < 2:
+            raise ValueError("need at least two frequency points")
+        if np.any(np.diff(freqs) <= 0):
+            raise ValueError("frequencies must be strictly increasing")
+        object.__setattr__(self, "frequencies_hz", freqs)
+        object.__setattr__(self, "response", resp)
+
+    @property
+    def magnitude(self) -> np.ndarray:
+        return np.abs(self.response)
+
+    @property
+    def phase_degrees(self) -> np.ndarray:
+        """Unwrapped phase in degrees."""
+        return np.degrees(np.unwrap(np.angle(self.response)))
+
+    # ------------------------------------------------------------------
+    def dc_gain(self) -> float:
+        """Low-frequency gain magnitude (first point of the sweep)."""
+        return float(self.magnitude[0])
+
+    def dc_gain_db(self) -> float:
+        """Low-frequency gain in dB -- the paper's ``ALF``."""
+        return gain_db(self.dc_gain())
+
+    def unity_gain_frequency(self) -> float:
+        """Frequency where ``|H|`` crosses 1 -- the paper's ``fu``.
+
+        Uses log-log interpolation between the bracketing samples.  Returns
+        NaN if the magnitude never crosses unity inside the sweep.
+        """
+        mag = self.magnitude
+        freqs = self.frequencies_hz
+        if mag[0] <= 1.0:
+            return float("nan")
+        below = np.flatnonzero(mag <= 1.0)
+        if below.size == 0:
+            return float("nan")
+        hi = int(below[0])
+        lo = hi - 1
+        # Log-log linear interpolation of the crossing.
+        m_lo, m_hi = mag[lo], mag[hi]
+        f_lo, f_hi = freqs[lo], freqs[hi]
+        if m_lo == m_hi:
+            return float(f_lo)
+        t = (0.0 - math.log10(m_lo)) / (math.log10(m_hi) - math.log10(m_lo))
+        return float(10 ** (math.log10(f_lo) + t * (math.log10(f_hi) - math.log10(f_lo))))
+
+    def phase_at(self, frequency_hz: float) -> float:
+        """Unwrapped phase (degrees) interpolated at ``frequency_hz``."""
+        phases = self.phase_degrees
+        return float(np.interp(math.log10(frequency_hz),
+                               np.log10(self.frequencies_hz), phases))
+
+    def phase_margin(self) -> float:
+        """Phase margin in degrees -- the paper's ``PM``.
+
+        Defined as ``180 + phase(H(fu))`` where ``fu`` is the unity-gain
+        frequency; NaN when there is no unity-gain crossing in the sweep.
+        """
+        fu = self.unity_gain_frequency()
+        if math.isnan(fu):
+            return float("nan")
+        # Normalize so that DC phase of a non-inverting gain is 0 degrees.
+        phase_dc = self.phase_degrees[0]
+        phase_fu = self.phase_at(fu) - phase_dc
+        return 180.0 + phase_fu
+
+
+def unity_gain_frequency(frequencies_hz: Sequence[float],
+                         response: Sequence[complex]) -> float:
+    """Functional wrapper around :meth:`FrequencyResponse.unity_gain_frequency`."""
+    return FrequencyResponse(np.asarray(frequencies_hz),
+                             np.asarray(response)).unity_gain_frequency()
+
+
+def phase_margin(frequencies_hz: Sequence[float],
+                 response: Sequence[complex]) -> float:
+    """Functional wrapper around :meth:`FrequencyResponse.phase_margin`."""
+    return FrequencyResponse(np.asarray(frequencies_hz),
+                             np.asarray(response)).phase_margin()
+
+
+# ----------------------------------------------------------------------
+# Analytic (pole-based) expressions, used by the operating-point OTA model
+# ----------------------------------------------------------------------
+def unity_gain_frequency_from_poles(dc_gain: float, dominant_pole_hz: float) -> float:
+    """Unity-gain frequency of a dominant-pole amplifier, ``A0 * p1``.
+
+    Valid when the non-dominant poles lie well above the unity-gain
+    frequency, which holds for the OTA design space sampled in the paper.
+    """
+    if dc_gain <= 0 or dominant_pole_hz <= 0:
+        raise ValueError("dc_gain and dominant_pole_hz must be positive")
+    return dc_gain * dominant_pole_hz
+
+
+def phase_margin_from_poles(unity_gain_hz: float,
+                            nondominant_poles_hz: Sequence[float],
+                            zeros_hz: Sequence[float] = ()) -> float:
+    """Phase margin of a dominant-pole amplifier with extra poles and zeros.
+
+    ``PM = 90 - sum(atan(fu/p_i)) + sum(atan(fu/z_i))`` in degrees.  Positive
+    (left-half-plane) zeros add phase; this matches the standard hand
+    analysis of current-mirror OTAs where the mirror pole/zero pair limits
+    the phase margin.
+    """
+    if unity_gain_hz <= 0:
+        raise ValueError("unity_gain_hz must be positive")
+    margin = 90.0
+    for pole in nondominant_poles_hz:
+        if pole <= 0:
+            raise ValueError("non-dominant poles must be positive frequencies")
+        margin -= math.degrees(math.atan(unity_gain_hz / pole))
+    for zero in zeros_hz:
+        if zero <= 0:
+            raise ValueError("zeros must be positive frequencies")
+        margin += math.degrees(math.atan(unity_gain_hz / zero))
+    return margin

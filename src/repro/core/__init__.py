@@ -1,0 +1,99 @@
+"""CAFFEINE core: canonical-form grammar GP for template-free symbolic modeling.
+
+The public surface of the core package:
+
+* :func:`~repro.core.engine.run_caffeine` / :class:`~repro.core.engine.CaffeineEngine`
+  -- run the algorithm on a dataset;
+* :class:`~repro.core.settings.CaffeineSettings` -- all tunables (paper
+  settings available via ``CaffeineSettings.paper_settings()``);
+* :class:`~repro.core.model.SymbolicModel` / :class:`~repro.core.model.TradeoffSet`
+  -- the resulting error-vs-complexity trade-off of interpretable models;
+* grammar machinery (:mod:`repro.core.grammar`), expression trees
+  (:mod:`repro.core.expression`), operators (:mod:`repro.core.operators`) and
+  the NSGA-II layer (:mod:`repro.core.nsga2`) for users who want to extend
+  the search.
+"""
+
+from repro.core.complexity import basis_function_complexity, model_complexity, vc_cost
+from repro.core.engine import (
+    CaffeineEngine,
+    CaffeineResult,
+    GenerationStats,
+    run_caffeine,
+)
+from repro.core.expression import (
+    BinaryOpTerm,
+    ConditionalOpTerm,
+    ExpressionNode,
+    ProductTerm,
+    UnaryOpTerm,
+    WeightedSum,
+    WeightedTerm,
+)
+from repro.core.functions import (
+    FunctionSet,
+    Operator,
+    default_function_set,
+    polynomial_function_set,
+    rational_function_set,
+)
+from repro.core.generator import ExpressionGenerator
+from repro.core.grammar import (
+    CAFFEINE_GRAMMAR_TEXT,
+    Grammar,
+    GrammarError,
+    default_grammar,
+    function_set_from_grammar,
+    grammar_text_for_function_set,
+    parse_grammar,
+    validate_expression,
+)
+from repro.core.individual import Individual, evaluate_basis_matrix
+from repro.core.model import SymbolicModel, TradeoffSet
+from repro.core.operators import VariationOperators, collect_slots
+from repro.core.settings import CaffeineSettings
+from repro.core.simplify import simplify_individual, simplify_population
+from repro.core.variable_combo import VariableCombo
+from repro.core.weights import Weight
+
+__all__ = [
+    "run_caffeine",
+    "CaffeineEngine",
+    "CaffeineResult",
+    "GenerationStats",
+    "CaffeineSettings",
+    "SymbolicModel",
+    "TradeoffSet",
+    "Individual",
+    "evaluate_basis_matrix",
+    "ExpressionGenerator",
+    "VariationOperators",
+    "collect_slots",
+    "simplify_individual",
+    "simplify_population",
+    "model_complexity",
+    "basis_function_complexity",
+    "vc_cost",
+    "ExpressionNode",
+    "ProductTerm",
+    "WeightedSum",
+    "WeightedTerm",
+    "UnaryOpTerm",
+    "BinaryOpTerm",
+    "ConditionalOpTerm",
+    "VariableCombo",
+    "Weight",
+    "FunctionSet",
+    "Operator",
+    "default_function_set",
+    "rational_function_set",
+    "polynomial_function_set",
+    "Grammar",
+    "GrammarError",
+    "CAFFEINE_GRAMMAR_TEXT",
+    "parse_grammar",
+    "default_grammar",
+    "grammar_text_for_function_set",
+    "function_set_from_grammar",
+    "validate_expression",
+]

@@ -1,0 +1,50 @@
+"""The complexity objective (Equation 1 of the paper).
+
+For a model ``f`` with ``M`` basis functions the complexity is::
+
+    complexity(f) = sum_j ( wb + nnodes(j) + sum_k vccost(vc_{k,j}) )
+
+where ``wb`` is a constant minimum cost per basis function (paper: 10),
+``nnodes(j)`` counts the tree nodes of basis function ``j``, and every
+variable combo ``vc`` adds ``vccost(vc) = wvc * sum_dim |vc(dim)|``
+(paper: ``wvc = 0.25``).  The constant intercept contributes nothing, so a
+constant-only model has complexity 0 -- the left end of every trade-off curve
+in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.expression import ProductTerm
+from repro.core.settings import CaffeineSettings
+from repro.core.variable_combo import VariableCombo
+
+__all__ = ["vc_cost", "basis_function_complexity", "model_complexity"]
+
+
+def vc_cost(vc: VariableCombo, vc_exponent_cost: float) -> float:
+    """Cost of one variable combo: ``wvc * sum_dim |exponent(dim)|``."""
+    if vc_exponent_cost < 0:
+        raise ValueError("vc_exponent_cost must be non-negative")
+    return vc_exponent_cost * vc.total_order
+
+
+def basis_function_complexity(basis: ProductTerm, basis_function_cost: float,
+                              vc_exponent_cost: float) -> float:
+    """Complexity contribution of a single basis function."""
+    if basis_function_cost < 0:
+        raise ValueError("basis_function_cost must be non-negative")
+    total = basis_function_cost + basis.n_nodes
+    for vc in basis.variable_combos():
+        total += vc_cost(vc, vc_exponent_cost)
+    return float(total)
+
+
+def model_complexity(bases: Sequence[ProductTerm],
+                     settings: CaffeineSettings) -> float:
+    """Complexity of a whole model (sum over its basis functions)."""
+    return float(sum(
+        basis_function_complexity(basis, settings.basis_function_cost,
+                                  settings.vc_exponent_cost)
+        for basis in bases))

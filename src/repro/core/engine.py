@@ -1,0 +1,206 @@
+"""The CAFFEINE engine: the NSGA-II evolutionary loop over canonical-form models.
+
+:func:`run_caffeine` is the main entry point of the library: given a training
+dataset (and optionally a testing dataset), it evolves a population of
+multi-tree individuals under the two objectives (normalized training error,
+complexity), applies simplification-after-generation, and returns a
+:class:`CaffeineResult` holding the trade-off of symbolic models plus
+per-generation statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.generator import ExpressionGenerator
+from repro.core.individual import Individual
+from repro.core.model import SymbolicModel, TradeoffSet
+from repro.core.nsga2 import binary_tournament, environmental_selection, rank_population
+from repro.core.operators import VariationOperators
+from repro.core.pareto import nondominated_filter
+from repro.core.settings import CaffeineSettings
+from repro.core.simplify import simplify_population
+from repro.data.dataset import Dataset
+
+__all__ = ["GenerationStats", "CaffeineResult", "CaffeineEngine", "run_caffeine"]
+
+#: Optional per-generation callback: ``callback(generation_index, stats)``.
+ProgressCallback = Callable[[int, "GenerationStats"], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class GenerationStats:
+    """Summary statistics of one generation."""
+
+    generation: int
+    best_error: float
+    median_error: float
+    best_complexity: float
+    front_size: int
+    n_feasible: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"gen {self.generation:4d}: best error {100 * self.best_error:6.2f}%  "
+                f"front {self.front_size:3d}  feasible {self.n_feasible:3d}")
+
+
+@dataclasses.dataclass
+class CaffeineResult:
+    """Everything a CAFFEINE run produces."""
+
+    target_name: str
+    variable_names: Tuple[str, ...]
+    #: final trade-off of symbolic models (training error vs. complexity)
+    tradeoff: TradeoffSet
+    #: the same models filtered on the testing-error trade-off (empty when no
+    #: test data was given)
+    test_tradeoff: TradeoffSet
+    history: Tuple[GenerationStats, ...]
+    settings: CaffeineSettings
+    runtime_seconds: float
+
+    @property
+    def n_models(self) -> int:
+        return len(self.tradeoff)
+
+    def best_model(self, by: str = "test") -> SymbolicModel:
+        """Most accurate model by testing (default) or training error."""
+        source = self.tradeoff
+        if by == "test" and len(self.test_tradeoff) > 0:
+            return self.test_tradeoff.most_accurate(by="test")
+        return source.most_accurate(by="train" if by == "train" else "train")
+
+
+class CaffeineEngine:
+    """Stateful engine; :func:`run_caffeine` wraps it for the common case."""
+
+    def __init__(self, train: Dataset, test: Optional[Dataset] = None,
+                 settings: Optional[CaffeineSettings] = None) -> None:
+        self.train = train.drop_nonfinite()
+        self.test = test.drop_nonfinite() if test is not None else None
+        if self.test is not None and self.test.variable_names != self.train.variable_names:
+            raise ValueError("train and test datasets use different design variables")
+        self.settings = settings if settings is not None else CaffeineSettings()
+        self.rng = np.random.default_rng(self.settings.random_seed)
+        self.generator = ExpressionGenerator(self.train.n_variables,
+                                             self.settings, rng=self.rng)
+        self.operators = VariationOperators(self.generator, self.settings, rng=self.rng)
+        self.history: List[GenerationStats] = []
+        self.population: List[Individual] = []
+
+    # ------------------------------------------------------------------
+    def initialize_population(self) -> None:
+        """Create and evaluate the initial random population."""
+        self.population = []
+        for _ in range(self.settings.population_size):
+            individual = Individual(bases=self.generator.random_basis_functions())
+            individual.evaluate(self.train.X, self.train.y, self.settings)
+            self.population.append(individual)
+
+    def step(self, generation: int) -> GenerationStats:
+        """Run one NSGA-II generation and return its statistics."""
+        ranked = rank_population(self.population)
+        offspring: List[Individual] = []
+        for _ in range(self.settings.population_size):
+            parent_a = binary_tournament(ranked, self.rng)
+            parent_b = binary_tournament(ranked, self.rng)
+            child = self.operators.vary(parent_a, parent_b)  # type: ignore[arg-type]
+            child.generation_born = generation
+            child.evaluate(self.train.X, self.train.y, self.settings)
+            offspring.append(child)
+        combined = self.population + offspring
+        self.population = environmental_selection(combined,
+                                                  self.settings.population_size)
+        stats = self._collect_stats(generation)
+        self.history.append(stats)
+        return stats
+
+    def _collect_stats(self, generation: int) -> GenerationStats:
+        feasible = [ind for ind in self.population if ind.is_feasible]
+        errors = np.array([ind.error for ind in feasible]) if feasible else np.array([np.inf])
+        front = nondominated_filter(feasible, key=lambda ind: ind.objectives) \
+            if feasible else []
+        best_complexity = min((ind.complexity for ind in front), default=float("inf"))
+        return GenerationStats(
+            generation=generation,
+            best_error=float(np.min(errors)),
+            median_error=float(np.median(errors)),
+            best_complexity=float(best_complexity),
+            front_size=len(front),
+            n_feasible=len(feasible),
+        )
+
+    # ------------------------------------------------------------------
+    def final_front(self) -> List[Individual]:
+        """Feasible nondominated individuals of the final population."""
+        feasible = [ind for ind in self.population if ind.is_feasible]
+        return nondominated_filter(feasible, key=lambda ind: ind.objectives)
+
+    def run(self, progress: Optional[ProgressCallback] = None) -> CaffeineResult:
+        """Run the full evolutionary loop plus post-processing."""
+        start_time = time.perf_counter()
+        self.initialize_population()
+        for generation in range(self.settings.n_generations):
+            stats = self.step(generation)
+            if progress is not None:
+                progress(generation, stats)
+
+        front = self.final_front()
+        if self.settings.simplify_after_generation:
+            front = simplify_population(front, self.train.X, self.train.y,
+                                        self.settings)
+            front = [ind for ind in front if ind.is_feasible]
+            front = nondominated_filter(front, key=lambda ind: ind.objectives)
+
+        models = self._freeze_models(front)
+        tradeoff = TradeoffSet(models).train_tradeoff()
+        test_tradeoff = tradeoff.test_tradeoff() if self.test is not None \
+            else TradeoffSet([])
+        runtime = time.perf_counter() - start_time
+        return CaffeineResult(
+            target_name=self.train.target_name,
+            variable_names=self.train.variable_names,
+            tradeoff=tradeoff,
+            test_tradeoff=test_tradeoff,
+            history=tuple(self.history),
+            settings=self.settings,
+            runtime_seconds=runtime,
+        )
+
+    def _freeze_models(self, front: Sequence[Individual]) -> List[SymbolicModel]:
+        X_test = self.test.X if self.test is not None else None
+        y_test = self.test.y if self.test is not None else None
+        models = []
+        for individual in front:
+            if not individual.is_feasible:
+                continue
+            models.append(SymbolicModel.from_individual(
+                individual,
+                target_name=self.train.target_name,
+                variable_names=self.train.variable_names,
+                X_test=X_test,
+                y_test=y_test,
+                log_scaled_target=self.train.log_scaled,
+            ))
+        return models
+
+
+def run_caffeine(train: Dataset, test: Optional[Dataset] = None,
+                 settings: Optional[CaffeineSettings] = None,
+                 progress: Optional[ProgressCallback] = None) -> CaffeineResult:
+    """Run CAFFEINE on a training dataset (and optional testing dataset).
+
+    This is the library's main entry point::
+
+        from repro import CaffeineSettings, run_caffeine
+        result = run_caffeine(train, test, CaffeineSettings(population_size=100,
+                                                            n_generations=50))
+        for model in result.test_tradeoff:
+            print(model.train_error_percent, model.expression())
+    """
+    engine = CaffeineEngine(train, test=test, settings=settings)
+    return engine.run(progress=progress)

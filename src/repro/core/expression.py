@@ -1,0 +1,398 @@
+"""Canonical-form expression trees.
+
+These node classes *are* the CAFFEINE grammar in typed form -- any tree built
+from them satisfies the canonical form by construction, which is how the
+reproduction guarantees that every explored expression is interpretable:
+
+* a **basis function** is a :class:`ProductTerm` (grammar symbol ``REPVC``):
+  a product of an optional variable combo and zero or more nonlinear operator
+  applications;
+* a **nonlinear operator application** (grammar symbol ``REPOP``) is a
+  :class:`UnaryOpTerm`, :class:`BinaryOpTerm` or :class:`ConditionalOpTerm`;
+  its expression arguments are weighted sums;
+* a **weighted sum** (grammar symbols ``W + REPADD``) is a
+  :class:`WeightedSum`: an offset weight plus weighted product terms -- i.e.
+  the same canonical structure again, recursively;
+* **terminals** are :class:`~repro.core.weights.Weight` parameters and
+  :class:`~repro.core.variable_combo.VariableCombo` variable products.
+
+The overall model is a linear combination of basis functions whose top-level
+weights are learned by least squares (see :mod:`repro.core.individual`), so
+those outer weights are *not* part of the trees.
+
+All nodes are mutable (the evolutionary operators edit cloned trees in
+place) and provide ``evaluate``, ``clone``, ``n_nodes``, ``depth`` and
+``render``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.functions import Operator
+from repro.core.variable_combo import VariableCombo
+from repro.core.weights import Weight, format_number
+
+__all__ = [
+    "ExpressionNode",
+    "OpTerm",
+    "UnaryOpTerm",
+    "BinaryOpTerm",
+    "ConditionalOpTerm",
+    "WeightedTerm",
+    "WeightedSum",
+    "ProductTerm",
+    "iter_nodes",
+    "iter_weights",
+    "iter_variable_combos",
+]
+
+
+class ExpressionNode:
+    """Common interface of all canonical-form tree nodes."""
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the node on a sample matrix ``(n_samples, n_variables)``."""
+        raise NotImplementedError
+
+    def clone(self) -> "ExpressionNode":
+        """Deep copy of the subtree."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["ExpressionNode", ...]:
+        """Direct child nodes (excluding terminals handled separately)."""
+        raise NotImplementedError
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of tree nodes in this subtree (terminals included)."""
+        raise NotImplementedError
+
+    @property
+    def depth(self) -> int:
+        """Depth of the subtree (a terminal-only node has depth 1)."""
+        raise NotImplementedError
+
+    def render(self, variable_names: Sequence[str]) -> str:
+        """Readable rendering using the given design-variable names."""
+        raise NotImplementedError
+
+    def variable_combos(self) -> List[VariableCombo]:
+        """All variable combos in the subtree (used by the complexity measure)."""
+        return [vc for _, vc in iter_variable_combos(self)]
+
+
+# ----------------------------------------------------------------------
+# operator applications (grammar symbol REPOP)
+# ----------------------------------------------------------------------
+class OpTerm(ExpressionNode):
+    """Base class for nonlinear operator applications."""
+
+    op: Operator
+
+
+@dataclasses.dataclass
+class UnaryOpTerm(OpTerm):
+    """``op(W + REPADD)``: a single-input operator on a weighted sum."""
+
+    op: Operator
+    argument: "WeightedSum"
+
+    def __post_init__(self) -> None:
+        if self.op.arity != 1:
+            raise ValueError(f"operator {self.op.name!r} is not unary")
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        return self.op(self.argument.evaluate(X))
+
+    def clone(self) -> "UnaryOpTerm":
+        return UnaryOpTerm(op=self.op, argument=self.argument.clone())
+
+    def children(self) -> Tuple[ExpressionNode, ...]:
+        return (self.argument,)
+
+    @property
+    def n_nodes(self) -> int:
+        return 1 + self.argument.n_nodes
+
+    @property
+    def depth(self) -> int:
+        return 1 + self.argument.depth
+
+    def render(self, variable_names: Sequence[str]) -> str:
+        return self.op.format(self.argument.render(variable_names))
+
+
+@dataclasses.dataclass
+class BinaryOpTerm(OpTerm):
+    """``op(2ARGS)``: a two-input operator.
+
+    Following the grammar's ``2ARGS`` rule, each argument is either a full
+    weighted sum (``W + REPADD``) or a bare weight (``MAYBEW`` choosing
+    ``W``); at least one argument must be a weighted sum, so that e.g. in
+    ``pow(a, b)`` either the base or the exponent -- but not both -- can be a
+    constant.
+    """
+
+    op: Operator
+    left: Union[Weight, "WeightedSum"]
+    right: Union[Weight, "WeightedSum"]
+
+    def __post_init__(self) -> None:
+        if self.op.arity != 2:
+            raise ValueError(f"operator {self.op.name!r} is not binary")
+        if isinstance(self.left, Weight) and isinstance(self.right, Weight):
+            raise ValueError(
+                "at least one argument of a binary operator must be an expression")
+
+    def _evaluate_argument(self, arg: Union[Weight, "WeightedSum"],
+                           X: np.ndarray) -> np.ndarray:
+        if isinstance(arg, Weight):
+            return np.full(X.shape[0], arg.value)
+        return arg.evaluate(X)
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        return self.op(self._evaluate_argument(self.left, X),
+                       self._evaluate_argument(self.right, X))
+
+    def clone(self) -> "BinaryOpTerm":
+        left = self.left.copy() if isinstance(self.left, Weight) else self.left.clone()
+        right = (self.right.copy() if isinstance(self.right, Weight)
+                 else self.right.clone())
+        return BinaryOpTerm(op=self.op, left=left, right=right)
+
+    def children(self) -> Tuple[ExpressionNode, ...]:
+        return tuple(arg for arg in (self.left, self.right)
+                     if isinstance(arg, WeightedSum))
+
+    @property
+    def n_nodes(self) -> int:
+        total = 1
+        for arg in (self.left, self.right):
+            total += 1 if isinstance(arg, Weight) else arg.n_nodes
+        return total
+
+    @property
+    def depth(self) -> int:
+        depths = [1 if isinstance(arg, Weight) else arg.depth
+                  for arg in (self.left, self.right)]
+        return 1 + max(depths)
+
+    def render(self, variable_names: Sequence[str]) -> str:
+        def render_arg(arg: Union[Weight, WeightedSum]) -> str:
+            if isinstance(arg, Weight):
+                return arg.render()
+            return arg.render(variable_names)
+
+        return self.op.format(render_arg(self.left), render_arg(self.right))
+
+
+@dataclasses.dataclass
+class ConditionalOpTerm(OpTerm):
+    """``lte(test, threshold, if_true, if_false)`` conditional expression.
+
+    Evaluates ``if_true`` where ``test <= threshold`` and ``if_false``
+    elsewhere; the threshold may be a constant weight (covering the paper's
+    ``lte(testExpr, 0, ...)`` variant) or a full expression.  Disabled by
+    default in the generator settings because conditionals are the least
+    interpretable construct the paper allows.
+    """
+
+    op: Operator  # a pseudo-operator record carrying the name "lte"
+    test: "WeightedSum"
+    threshold: Union[Weight, "WeightedSum"]
+    if_true: "WeightedSum"
+    if_false: "WeightedSum"
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        test_values = self.test.evaluate(X)
+        if isinstance(self.threshold, Weight):
+            threshold_values = np.full(X.shape[0], self.threshold.value)
+        else:
+            threshold_values = self.threshold.evaluate(X)
+        return np.where(test_values <= threshold_values,
+                        self.if_true.evaluate(X), self.if_false.evaluate(X))
+
+    def clone(self) -> "ConditionalOpTerm":
+        threshold = (self.threshold.copy() if isinstance(self.threshold, Weight)
+                     else self.threshold.clone())
+        return ConditionalOpTerm(op=self.op, test=self.test.clone(),
+                                 threshold=threshold,
+                                 if_true=self.if_true.clone(),
+                                 if_false=self.if_false.clone())
+
+    def children(self) -> Tuple[ExpressionNode, ...]:
+        parts: List[ExpressionNode] = [self.test]
+        if isinstance(self.threshold, WeightedSum):
+            parts.append(self.threshold)
+        parts.extend([self.if_true, self.if_false])
+        return tuple(parts)
+
+    @property
+    def n_nodes(self) -> int:
+        total = 1 + self.test.n_nodes + self.if_true.n_nodes + self.if_false.n_nodes
+        total += 1 if isinstance(self.threshold, Weight) else self.threshold.n_nodes
+        return total
+
+    @property
+    def depth(self) -> int:
+        child_depths = [self.test.depth, self.if_true.depth, self.if_false.depth]
+        child_depths.append(1 if isinstance(self.threshold, Weight)
+                            else self.threshold.depth)
+        return 1 + max(child_depths)
+
+    def render(self, variable_names: Sequence[str]) -> str:
+        threshold = (self.threshold.render() if isinstance(self.threshold, Weight)
+                     else self.threshold.render(variable_names))
+        return (f"lte({self.test.render(variable_names)}, {threshold}, "
+                f"{self.if_true.render(variable_names)}, "
+                f"{self.if_false.render(variable_names)})")
+
+
+# ----------------------------------------------------------------------
+# weighted sums (grammar symbols W + REPADD)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class WeightedTerm:
+    """One ``W * REPVC`` term inside a weighted sum."""
+
+    weight: Weight
+    term: "ProductTerm"
+
+    def clone(self) -> "WeightedTerm":
+        return WeightedTerm(weight=self.weight.copy(), term=self.term.clone())
+
+
+@dataclasses.dataclass
+class WeightedSum(ExpressionNode):
+    """``W + sum_k W_k * REPVC_k``: the argument form of every operator."""
+
+    offset: Weight
+    terms: List[WeightedTerm] = dataclasses.field(default_factory=list)
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        result = np.full(X.shape[0], self.offset.value)
+        for weighted in self.terms:
+            result = result + weighted.weight.value * weighted.term.evaluate(X)
+        return result
+
+    def clone(self) -> "WeightedSum":
+        return WeightedSum(offset=self.offset.copy(),
+                           terms=[t.clone() for t in self.terms])
+
+    def children(self) -> Tuple[ExpressionNode, ...]:
+        return tuple(t.term for t in self.terms)
+
+    @property
+    def n_nodes(self) -> int:
+        return 1 + 1 + sum(1 + t.term.n_nodes for t in self.terms)
+
+    @property
+    def depth(self) -> int:
+        if not self.terms:
+            return 1
+        return 1 + max(t.term.depth for t in self.terms)
+
+    def render(self, variable_names: Sequence[str]) -> str:
+        parts = [self.offset.render()]
+        for weighted in self.terms:
+            parts.append(f"{weighted.weight.render()} * "
+                         f"{weighted.term.render(variable_names)}")
+        return " + ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# product terms (grammar symbol REPVC) -- the basis functions
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ProductTerm(ExpressionNode):
+    """A basis function: product of a variable combo and operator terms.
+
+    Either component may be absent, but not both: ``REPVC`` always derives to
+    at least one ``VC`` or one ``REPOP``.
+    """
+
+    vc: Optional[VariableCombo] = None
+    ops: List[OpTerm] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.vc is None and not self.ops:
+            raise ValueError(
+                "a product term needs a variable combo or at least one operator term")
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        result = np.ones(np.asarray(X).shape[0])
+        if self.vc is not None:
+            result = result * self.vc.evaluate(X)
+        for op_term in self.ops:
+            result = result * op_term.evaluate(X)
+        return result
+
+    def clone(self) -> "ProductTerm":
+        return ProductTerm(vc=self.vc.copy() if self.vc is not None else None,
+                           ops=[op.clone() for op in self.ops])
+
+    def children(self) -> Tuple[ExpressionNode, ...]:
+        return tuple(self.ops)
+
+    @property
+    def n_nodes(self) -> int:
+        total = 1 + (1 if self.vc is not None else 0)
+        total += sum(op.n_nodes for op in self.ops)
+        return total
+
+    @property
+    def depth(self) -> int:
+        if not self.ops:
+            return 1
+        return 1 + max(op.depth for op in self.ops)
+
+    def render(self, variable_names: Sequence[str]) -> str:
+        parts: List[str] = []
+        if self.vc is not None and not self.vc.is_constant:
+            parts.append(self.vc.render(variable_names))
+        for op_term in self.ops:
+            parts.append(op_term.render(variable_names))
+        if not parts:
+            return "1"
+        return " * ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# traversal helpers
+# ----------------------------------------------------------------------
+def iter_nodes(root: ExpressionNode) -> Iterator[ExpressionNode]:
+    """Pre-order iteration over all (non-terminal) nodes of a subtree."""
+    stack: List[ExpressionNode] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def iter_weights(root: ExpressionNode) -> Iterator[Weight]:
+    """All :class:`Weight` terminals in a subtree (mutable references)."""
+    for node in iter_nodes(root):
+        if isinstance(node, WeightedSum):
+            yield node.offset
+            for weighted in node.terms:
+                yield weighted.weight
+        elif isinstance(node, BinaryOpTerm):
+            if isinstance(node.left, Weight):
+                yield node.left
+            if isinstance(node.right, Weight):
+                yield node.right
+        elif isinstance(node, ConditionalOpTerm):
+            if isinstance(node.threshold, Weight):
+                yield node.threshold
+
+
+def iter_variable_combos(root: ExpressionNode
+                         ) -> Iterator[Tuple[ProductTerm, VariableCombo]]:
+    """All variable combos with their owning product term."""
+    for node in iter_nodes(root):
+        if isinstance(node, ProductTerm) and node.vc is not None:
+            yield node, node.vc

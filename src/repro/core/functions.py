@@ -1,0 +1,208 @@
+"""Operator (function) definitions for the CAFFEINE grammar.
+
+The paper's experimental setup allows the single-input operators
+``sqrt, ln, log10, 1/x, abs, x^2, sin, cos, tan, max(0,x), min(0,x), 2^x,
+10^x`` and the double-input operators ``+, *, max, min, pow, /``, plus an
+``lte`` conditional.  Each operator is described by an :class:`Operator`
+record carrying a vectorized NumPy implementation and a formatting template;
+:class:`FunctionSet` is the designer-facing collection, which can be
+restricted ("the designer can turn off any of the rules") -- e.g. to
+rationals only, or to exclude trigonometric functions.
+
+Numerical-domain violations (log of a negative number, division by zero,
+overflow) deliberately produce ``inf``/``nan``: the evaluation layer treats
+any individual that misbehaves on the training data as infeasible, which is
+how the search pressure stays on well-behaved expressions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Operator",
+    "FunctionSet",
+    "UNARY_OPERATORS",
+    "BINARY_OPERATORS",
+    "default_function_set",
+    "rational_function_set",
+    "polynomial_function_set",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Operator:
+    """One nonlinear operator usable inside a canonical-form expression."""
+
+    name: str
+    arity: int
+    implementation: Callable[..., np.ndarray]
+    #: Python-ish format template with ``{0}``, ``{1}`` placeholders.
+    template: str
+    #: grammar terminal symbol (e.g. ``"LOG10"``) used by the grammar printer
+    symbol: str
+
+    def __call__(self, *args: np.ndarray) -> np.ndarray:
+        if len(args) != self.arity:
+            raise TypeError(
+                f"operator {self.name!r} expects {self.arity} arguments, "
+                f"got {len(args)}"
+            )
+        with np.errstate(all="ignore"):
+            return self.implementation(*args)
+
+    def format(self, *rendered_args: str) -> str:
+        """Render a call of this operator with already-rendered arguments."""
+        if len(rendered_args) != self.arity:
+            raise TypeError(
+                f"operator {self.name!r} expects {self.arity} arguments, "
+                f"got {len(rendered_args)}"
+            )
+        return self.template.format(*rendered_args)
+
+
+def _protected_tan(x: np.ndarray) -> np.ndarray:
+    result = np.tan(x)
+    # Large magnitudes near the poles are left as-is; the evaluation layer
+    # rejects individuals that produce non-finite or absurd values.
+    return result
+
+
+UNARY_OPERATORS: Dict[str, Operator] = {
+    op.name: op for op in (
+        Operator("sqrt", 1, lambda x: np.sqrt(x), "sqrt({0})", "SQRT"),
+        Operator("ln", 1, lambda x: np.log(x), "ln({0})", "LOGE"),
+        Operator("log10", 1, lambda x: np.log10(x), "log10({0})", "LOG10"),
+        Operator("inv", 1, lambda x: 1.0 / x, "1 / ({0})", "INV"),
+        Operator("abs", 1, lambda x: np.abs(x), "abs({0})", "ABS"),
+        Operator("square", 1, lambda x: np.square(x), "({0})^2", "SQUARE"),
+        Operator("sin", 1, lambda x: np.sin(x), "sin({0})", "SIN"),
+        Operator("cos", 1, lambda x: np.cos(x), "cos({0})", "COS"),
+        Operator("tan", 1, _protected_tan, "tan({0})", "TAN"),
+        Operator("max0", 1, lambda x: np.maximum(0.0, x), "max(0, {0})", "MAX0"),
+        Operator("min0", 1, lambda x: np.minimum(0.0, x), "min(0, {0})", "MIN0"),
+        Operator("exp2", 1, lambda x: np.power(2.0, x), "2^({0})", "POW2"),
+        Operator("exp10", 1, lambda x: np.power(10.0, x), "10^({0})", "POW10"),
+    )
+}
+
+BINARY_OPERATORS: Dict[str, Operator] = {
+    op.name: op for op in (
+        Operator("add", 2, lambda a, b: a + b, "({0} + {1})", "ADD"),
+        Operator("mul", 2, lambda a, b: a * b, "({0} * {1})", "MUL"),
+        Operator("max", 2, lambda a, b: np.maximum(a, b), "max({0}, {1})", "MAX"),
+        Operator("min", 2, lambda a, b: np.minimum(a, b), "min({0}, {1})", "MIN"),
+        Operator("pow", 2, lambda a, b: np.power(a, b), "({0})^({1})", "POW"),
+        Operator("div", 2, lambda a, b: a / b, "({0}) / ({1})", "DIVIDE"),
+    )
+}
+
+_ALL_OPERATORS: Dict[str, Operator] = {**UNARY_OPERATORS, **BINARY_OPERATORS}
+
+
+class FunctionSet:
+    """The set of operators the grammar is allowed to use.
+
+    The paper emphasizes that "the designer can turn off any of the rules if
+    they are considered unwanted or unneeded", e.g. restricting the search to
+    polynomials or rationals, or removing hard-to-interpret functions such as
+    ``sin``/``cos``.  A :class:`FunctionSet` is that switchboard.
+    """
+
+    def __init__(self, unary: Iterable[str] = (), binary: Iterable[str] = ()) -> None:
+        self._unary: Tuple[Operator, ...] = tuple(
+            self._lookup(name, UNARY_OPERATORS, "unary") for name in unary)
+        self._binary: Tuple[Operator, ...] = tuple(
+            self._lookup(name, BINARY_OPERATORS, "binary") for name in binary)
+
+    @staticmethod
+    def _lookup(name: str, table: Dict[str, Operator], kind: str) -> Operator:
+        if name not in table:
+            raise KeyError(
+                f"unknown {kind} operator {name!r}; known: {sorted(table)}")
+        return table[name]
+
+    # ------------------------------------------------------------------
+    @property
+    def unary(self) -> Tuple[Operator, ...]:
+        return self._unary
+
+    @property
+    def binary(self) -> Tuple[Operator, ...]:
+        return self._binary
+
+    @property
+    def has_nonlinear_operators(self) -> bool:
+        """True when at least one nonlinear operator is enabled."""
+        return bool(self._unary) or bool(self._binary)
+
+    def operator(self, name: str) -> Operator:
+        """Look up an enabled operator by name."""
+        for op in self._unary + self._binary:
+            if op.name == name:
+                return op
+        raise KeyError(f"operator {name!r} is not enabled in this function set")
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(op.name for op in self._unary + self._binary)
+
+    def without(self, *names: str) -> "FunctionSet":
+        """A copy with the given operators removed."""
+        remove = set(names)
+        return FunctionSet(
+            unary=[op.name for op in self._unary if op.name not in remove],
+            binary=[op.name for op in self._binary if op.name not in remove],
+        )
+
+    def restricted_to(self, *names: str) -> "FunctionSet":
+        """A copy with only the given operators kept."""
+        keep = set(names)
+        return FunctionSet(
+            unary=[op.name for op in self._unary if op.name in keep],
+            binary=[op.name for op in self._binary if op.name in keep],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FunctionSet(unary={[o.name for o in self._unary]}, "
+                f"binary={[o.name for o in self._binary]})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FunctionSet):
+            return NotImplemented
+        return self.names() == other.names()
+
+    def __hash__(self) -> int:
+        return hash(self.names())
+
+
+def default_function_set() -> FunctionSet:
+    """The paper's experimental function set (Section 6.1).
+
+    ``add`` and ``mul`` are omitted as explicit binary operators because the
+    canonical-form grammar already provides arbitrary sums (``REPADD``) and
+    products (``REPVC``/``REPOP``); including them as operators would only
+    duplicate structure without enlarging the expressible set.
+    """
+    return FunctionSet(
+        unary=("sqrt", "ln", "log10", "inv", "abs", "square",
+               "sin", "cos", "tan", "max0", "min0", "exp2", "exp10"),
+        binary=("div", "pow", "max", "min"),
+    )
+
+
+def rational_function_set() -> FunctionSet:
+    """Restriction to rational functions (division only)."""
+    return FunctionSet(unary=("inv",), binary=("div",))
+
+
+def polynomial_function_set() -> FunctionSet:
+    """Restriction to polynomials: no nonlinear operators at all.
+
+    With this set the grammar reduces to weighted sums of variable combos,
+    i.e. (generalized) polynomials, mirroring the paper's remark that "one
+    could easily restrict the search to polynomials or rationals".
+    """
+    return FunctionSet(unary=(), binary=())

@@ -1,0 +1,289 @@
+"""The CAFFEINE canonical-form grammar.
+
+The paper defines its grammar in a separate text file which the tool parses;
+this module does the same.  :data:`CAFFEINE_GRAMMAR_TEXT` is the default
+grammar in the paper's notation, :func:`parse_grammar` turns such text into a
+:class:`Grammar` object (non-terminals, derivation rules, terminals), and
+:func:`function_set_from_grammar` extracts the enabled operator set so the
+typed expression generator stays consistent with the declared grammar.
+
+The typed AST classes in :mod:`repro.core.expression` satisfy this grammar by
+construction; :func:`validate_expression` double-checks a tree against a
+(possibly user-edited) grammar -- it verifies that every operator used is
+declared and that the structural constraints of the canonical form hold.
+This is what lets a designer "turn off any of the rules": delete an operator
+from the grammar text and every generated or validated expression respects
+the restriction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.expression import (
+    BinaryOpTerm,
+    ConditionalOpTerm,
+    ExpressionNode,
+    ProductTerm,
+    UnaryOpTerm,
+    WeightedSum,
+    iter_nodes,
+)
+from repro.core.functions import (
+    BINARY_OPERATORS,
+    FunctionSet,
+    UNARY_OPERATORS,
+)
+
+__all__ = [
+    "GrammarRule",
+    "Grammar",
+    "GrammarError",
+    "CAFFEINE_GRAMMAR_TEXT",
+    "parse_grammar",
+    "default_grammar",
+    "grammar_text_for_function_set",
+    "function_set_from_grammar",
+    "validate_expression",
+]
+
+
+class GrammarError(ValueError):
+    """Raised for malformed grammar text or expressions violating the grammar."""
+
+
+#: The default CAFFEINE grammar, in the notation of the paper (Section 5).
+CAFFEINE_GRAMMAR_TEXT = """
+# CAFFEINE canonical-form grammar.
+# Terminal symbols are quoted; nonterminals are bare upper-case words.
+# The start symbol is REPVC; one tree is used per basis function and basis
+# functions are linearly weighted by least-squares learning.
+
+REPVC   => 'VC' | REPVC '*' REPOP | REPOP
+REPOP   => REPOP '*' REPOP | 1OP '(' 'W' '+' REPADD ')' | 2OP '(' 2ARGS ')' | 4OP '(' 4ARGS ')'
+2ARGS   => 'W' '+' REPADD ',' MAYBEW | MAYBEW ',' 'W' '+' REPADD
+4ARGS   => 'W' '+' REPADD ',' MAYBEW ',' 'W' '+' REPADD ',' 'W' '+' REPADD
+MAYBEW  => 'W' | 'W' '+' REPADD
+REPADD  => 'W' '*' REPVC | REPADD '+' REPADD
+1OP     => 'SQRT' | 'LOGE' | 'LOG10' | 'INV' | 'ABS' | 'SQUARE' | 'SIN' | 'COS' | 'TAN' | 'MAX0' | 'MIN0' | 'POW2' | 'POW10'
+2OP     => 'DIVIDE' | 'POW' | 'MAX' | 'MIN'
+4OP     => 'LTE'
+"""
+
+
+@dataclasses.dataclass(frozen=True)
+class GrammarRule:
+    """One derivation rule: a nonterminal and its alternative productions.
+
+    Each production is a tuple of symbols; terminal symbols carry their
+    quotes stripped and are flagged in :attr:`Grammar.terminals`.
+    """
+
+    nonterminal: str
+    productions: Tuple[Tuple[str, ...], ...]
+
+
+class Grammar:
+    """A parsed context-free grammar with CAFFEINE's conventions."""
+
+    def __init__(self, rules: Sequence[GrammarRule], start_symbol: str = "REPVC") -> None:
+        self._rules: Dict[str, GrammarRule] = {}
+        for rule in rules:
+            if rule.nonterminal in self._rules:
+                raise GrammarError(f"duplicate rule for {rule.nonterminal!r}")
+            self._rules[rule.nonterminal] = rule
+        if start_symbol not in self._rules:
+            raise GrammarError(f"start symbol {start_symbol!r} has no rule")
+        self.start_symbol = start_symbol
+
+    # ------------------------------------------------------------------
+    @property
+    def nonterminals(self) -> Tuple[str, ...]:
+        return tuple(self._rules.keys())
+
+    @property
+    def terminals(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for rule in self._rules.values():
+            for production in rule.productions:
+                for symbol in production:
+                    if symbol not in self._rules and symbol not in seen:
+                        seen[symbol] = None
+        return tuple(seen.keys())
+
+    def rule(self, nonterminal: str) -> GrammarRule:
+        try:
+            return self._rules[nonterminal]
+        except KeyError as exc:
+            raise GrammarError(f"no rule for nonterminal {nonterminal!r}") from exc
+
+    def has_rule(self, nonterminal: str) -> bool:
+        return nonterminal in self._rules
+
+    def operator_symbols(self, category: str) -> Tuple[str, ...]:
+        """Terminal symbols of an operator category rule (``"1OP"``, ``"2OP"``, ...).
+
+        Returns an empty tuple when the category is absent (e.g. a grammar
+        with all nonlinear functions removed).
+        """
+        if not self.has_rule(category):
+            return ()
+        symbols: List[str] = []
+        for production in self.rule(category).productions:
+            if len(production) != 1:
+                raise GrammarError(
+                    f"operator rule {category} must have single-symbol productions")
+            symbols.append(production[0])
+        return tuple(symbols)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Render the grammar back to the paper's text notation."""
+        lines = []
+        for rule in self._rules.values():
+            alternatives = []
+            for production in rule.productions:
+                rendered = " ".join(
+                    symbol if symbol in self._rules else f"'{symbol}'"
+                    for symbol in production)
+                alternatives.append(rendered)
+            lines.append(f"{rule.nonterminal} => " + " | ".join(alternatives))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Grammar(start={self.start_symbol!r}, "
+                f"nonterminals={len(self._rules)})")
+
+
+_TOKEN_PATTERN = re.compile(r"'[^']*'|\S+")
+#: Nonterminal names may start with a digit (the paper uses 1OP, 2OP, 2ARGS...).
+_NONTERMINAL_PATTERN = re.compile(r"^[A-Za-z0-9_]+$")
+
+
+def parse_grammar(text: str, start_symbol: str = "REPVC") -> Grammar:
+    """Parse grammar text in the paper's notation into a :class:`Grammar`.
+
+    Lines look like ``NONTERM => alt | alt``; alternatives are whitespace-
+    separated symbols; quoted symbols are terminals.  ``#`` starts a comment.
+    A rule may continue over several lines as long as continuation lines do
+    not contain ``=>``.
+    """
+    # Merge continuation lines.
+    logical_lines: List[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "=>" in line or not logical_lines:
+            logical_lines.append(line)
+        else:
+            logical_lines[-1] += " " + line
+
+    rules: List[GrammarRule] = []
+    for line in logical_lines:
+        if "=>" not in line:
+            raise GrammarError(f"malformed grammar line (no '=>'): {line!r}")
+        head, body = line.split("=>", 1)
+        nonterminal = head.strip()
+        if not nonterminal or not _NONTERMINAL_PATTERN.match(nonterminal):
+            raise GrammarError(f"invalid nonterminal name {nonterminal!r}")
+        productions: List[Tuple[str, ...]] = []
+        for alternative in body.split("|"):
+            tokens = _TOKEN_PATTERN.findall(alternative.strip())
+            if not tokens:
+                raise GrammarError(f"empty production in rule {nonterminal!r}")
+            symbols = tuple(t[1:-1] if t.startswith("'") and t.endswith("'") else t
+                            for t in tokens)
+            productions.append(symbols)
+        rules.append(GrammarRule(nonterminal=nonterminal,
+                                 productions=tuple(productions)))
+    return Grammar(rules, start_symbol=start_symbol)
+
+
+def default_grammar() -> Grammar:
+    """The paper's grammar, parsed from :data:`CAFFEINE_GRAMMAR_TEXT`."""
+    return parse_grammar(CAFFEINE_GRAMMAR_TEXT)
+
+
+_SYMBOL_TO_UNARY = {op.symbol: name for name, op in UNARY_OPERATORS.items()}
+_SYMBOL_TO_BINARY = {op.symbol: name for name, op in BINARY_OPERATORS.items()}
+
+
+def grammar_text_for_function_set(function_set: FunctionSet,
+                                  enable_conditionals: bool = False) -> str:
+    """Generate grammar text whose operator rules match a function set."""
+    lines = [
+        "REPVC   => 'VC' | REPVC '*' REPOP | REPOP",
+    ]
+    repop_alternatives = ["REPOP '*' REPOP"]
+    if function_set.unary:
+        repop_alternatives.append("1OP '(' 'W' '+' REPADD ')'")
+    if function_set.binary:
+        repop_alternatives.append("2OP '(' 2ARGS ')'")
+    if enable_conditionals:
+        repop_alternatives.append("4OP '(' 4ARGS ')'")
+    if len(repop_alternatives) > 1:
+        lines.append("REPOP   => " + " | ".join(repop_alternatives))
+        lines.append("2ARGS   => 'W' '+' REPADD ',' MAYBEW | MAYBEW ',' 'W' '+' REPADD")
+        lines.append("MAYBEW  => 'W' | 'W' '+' REPADD")
+    lines.append("REPADD  => 'W' '*' REPVC | REPADD '+' REPADD")
+    if function_set.unary:
+        lines.append("1OP     => " + " | ".join(f"'{op.symbol}'"
+                                                for op in function_set.unary))
+    if function_set.binary:
+        lines.append("2OP     => " + " | ".join(f"'{op.symbol}'"
+                                                for op in function_set.binary))
+    if enable_conditionals:
+        lines.append("4ARGS   => 'W' '+' REPADD ',' MAYBEW ',' 'W' '+' REPADD ',' 'W' '+' REPADD")
+        lines.append("4OP     => 'LTE'")
+    return "\n".join(lines)
+
+
+def function_set_from_grammar(grammar: Grammar) -> FunctionSet:
+    """Extract the enabled operator set from a grammar's 1OP/2OP rules."""
+    unary_names: List[str] = []
+    for symbol in grammar.operator_symbols("1OP"):
+        if symbol not in _SYMBOL_TO_UNARY:
+            raise GrammarError(f"unknown single-input operator symbol {symbol!r}")
+        unary_names.append(_SYMBOL_TO_UNARY[symbol])
+    binary_names: List[str] = []
+    for symbol in grammar.operator_symbols("2OP"):
+        if symbol not in _SYMBOL_TO_BINARY:
+            raise GrammarError(f"unknown double-input operator symbol {symbol!r}")
+        binary_names.append(_SYMBOL_TO_BINARY[symbol])
+    return FunctionSet(unary=unary_names, binary=binary_names)
+
+
+def validate_expression(root: ExpressionNode, grammar: Grammar) -> None:
+    """Check that a canonical-form tree only uses constructs the grammar allows.
+
+    Raises :class:`GrammarError` on the first violation: an operator whose
+    terminal symbol is not declared in the grammar's ``1OP``/``2OP``/``4OP``
+    rules, a conditional when the grammar has no ``4OP`` rule, or a product
+    term with neither variable combo nor operator factors.
+    """
+    allowed_unary = set(grammar.operator_symbols("1OP"))
+    allowed_binary = set(grammar.operator_symbols("2OP"))
+    allow_conditionals = bool(grammar.operator_symbols("4OP"))
+
+    for node in iter_nodes(root):
+        if isinstance(node, ProductTerm):
+            if node.vc is None and not node.ops:
+                raise GrammarError("product term with no content")
+        elif isinstance(node, UnaryOpTerm):
+            if node.op.symbol not in allowed_unary:
+                raise GrammarError(
+                    f"single-input operator {node.op.name!r} is not in the grammar")
+        elif isinstance(node, ConditionalOpTerm):
+            if not allow_conditionals:
+                raise GrammarError("conditionals are not allowed by the grammar")
+        elif isinstance(node, BinaryOpTerm):
+            if node.op.symbol not in allowed_binary:
+                raise GrammarError(
+                    f"double-input operator {node.op.name!r} is not in the grammar")
+            if isinstance(node.left, WeightedSum) is False and \
+               isinstance(node.right, WeightedSum) is False:
+                raise GrammarError(
+                    "binary operator with two constant arguments violates 2ARGS")

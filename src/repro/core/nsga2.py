@@ -1,0 +1,96 @@
+"""NSGA-II selection machinery (Deb et al., PPSN 2000).
+
+CAFFEINE uses NSGA-II to drive a two-objective search (training error vs.
+complexity) and return a nondominated set of models.  The implementation
+here is generic over objective vectors: the engine supplies a list of
+individuals with an ``objectives`` tuple and receives the survivor selection
+and the tournament-based parent selection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.core.pareto import crowding_distances, fast_nondominated_sort
+
+__all__ = ["HasObjectives", "RankedIndividual", "rank_population",
+           "environmental_selection", "binary_tournament"]
+
+
+class HasObjectives(Protocol):
+    """Anything exposing a tuple of minimized objectives."""
+
+    @property
+    def objectives(self) -> Tuple[float, ...]:  # pragma: no cover - protocol
+        ...
+
+
+T = TypeVar("T", bound=HasObjectives)
+
+
+class RankedIndividual:
+    """Bookkeeping record attaching NSGA-II rank and crowding to an individual."""
+
+    __slots__ = ("individual", "rank", "crowding")
+
+    def __init__(self, individual: HasObjectives, rank: int, crowding: float) -> None:
+        self.individual = individual
+        self.rank = rank
+        self.crowding = crowding
+
+    def beats(self, other: "RankedIndividual") -> bool:
+        """Crowded-comparison operator: lower rank wins, ties by larger crowding."""
+        if self.rank != other.rank:
+            return self.rank < other.rank
+        return self.crowding > other.crowding
+
+
+def rank_population(population: Sequence[T]) -> List[RankedIndividual]:
+    """Assign nondomination rank and crowding distance to every individual."""
+    vectors = [tuple(ind.objectives) for ind in population]
+    fronts = fast_nondominated_sort(vectors)
+    ranked: List[RankedIndividual] = [None] * len(population)  # type: ignore[list-item]
+    for rank, front in enumerate(fronts):
+        front_vectors = [vectors[i] for i in front]
+        crowding = crowding_distances(front_vectors)
+        for position, index in enumerate(front):
+            ranked[index] = RankedIndividual(population[index], rank,
+                                             crowding[position])
+    return ranked
+
+
+def environmental_selection(population: Sequence[T], target_size: int
+                            ) -> List[T]:
+    """NSGA-II survivor selection: fill by fronts, truncate by crowding."""
+    if target_size < 1:
+        raise ValueError("target_size must be >= 1")
+    vectors = [tuple(ind.objectives) for ind in population]
+    fronts = fast_nondominated_sort(vectors)
+    survivors: List[T] = []
+    for front in fronts:
+        if len(survivors) + len(front) <= target_size:
+            survivors.extend(population[i] for i in front)
+            if len(survivors) == target_size:
+                break
+            continue
+        # Partial front: keep the most spread-out individuals.
+        front_vectors = [vectors[i] for i in front]
+        crowding = crowding_distances(front_vectors)
+        order = sorted(range(len(front)), key=lambda k: crowding[k], reverse=True)
+        remaining = target_size - len(survivors)
+        survivors.extend(population[front[k]] for k in order[:remaining])
+        break
+    return survivors
+
+
+def binary_tournament(ranked: Sequence[RankedIndividual],
+                      rng: np.random.Generator) -> HasObjectives:
+    """Pick the better of two random individuals by the crowded comparison."""
+    if not ranked:
+        raise ValueError("cannot run a tournament on an empty population")
+    first = ranked[int(rng.integers(len(ranked)))]
+    second = ranked[int(rng.integers(len(ranked)))]
+    winner = first if first.beats(second) else second
+    return winner.individual

@@ -1,0 +1,327 @@
+"""Evolutionary variation operators.
+
+CAFFEINE's operators act on three levels and all respect the grammar --
+"only subtrees with the same root can be crossed over, and random generation
+of trees must follow the derivation rules":
+
+* **parameter level** -- zero-mean Cauchy mutation of ``W`` weights (the paper
+  makes this operator 5x more likely than the others), and the VC operators
+  (one-point crossover of exponent vectors, +/-1 on a random exponent);
+* **tree level** -- subtree crossover between nodes with the same grammar
+  symbol, and subtree mutation (regenerating a random subtree);
+* **basis-function level** -- creating a new individual by randomly choosing
+  at least one basis function from each of two parents; deleting a random
+  basis function; adding a randomly generated tree as a new basis function;
+  copying a subtree from one individual to become a new basis function of
+  another.
+
+All operators return *new* individuals; parents are never modified.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.expression import (
+    BinaryOpTerm,
+    ConditionalOpTerm,
+    ExpressionNode,
+    OpTerm,
+    ProductTerm,
+    UnaryOpTerm,
+    WeightedSum,
+    iter_nodes,
+    iter_variable_combos,
+    iter_weights,
+)
+from repro.core.generator import ExpressionGenerator
+from repro.core.individual import Individual
+from repro.core.settings import CaffeineSettings
+
+__all__ = ["Slot", "collect_slots", "VariationOperators"]
+
+
+@dataclasses.dataclass
+class Slot:
+    """A replaceable position in an individual's trees.
+
+    ``kind`` is the grammar symbol of the node occupying the slot
+    (``"REPVC"`` for product terms, ``"REPOP"`` for operator terms,
+    ``"REPADD"`` for weighted sums); ``get``/``set`` read and replace it.
+    """
+
+    kind: str
+    get: Callable[[], ExpressionNode]
+    set: Callable[[ExpressionNode], None]
+
+
+def _list_slot(kind: str, container: list, index: int) -> Slot:
+    return Slot(kind=kind,
+                get=lambda: container[index],
+                set=lambda node: container.__setitem__(index, node))
+
+
+def _attr_slot(kind: str, owner: object, attribute: str) -> Slot:
+    return Slot(kind=kind,
+                get=lambda: getattr(owner, attribute),
+                set=lambda node: setattr(owner, attribute, node))
+
+
+def collect_slots(individual: Individual, include_bases: bool = True) -> List[Slot]:
+    """Every grammar-legal replacement point in an individual.
+
+    Top-level basis functions are ``REPVC`` slots; positions inside trees are
+    collected by walking every node and recording where product terms,
+    operator terms and weighted sums live.
+    """
+    slots: List[Slot] = []
+    if include_bases:
+        for index in range(len(individual.bases)):
+            slots.append(_list_slot("REPVC", individual.bases, index))
+
+    for basis in individual.bases:
+        for node in iter_nodes(basis):
+            if isinstance(node, ProductTerm):
+                for op_index in range(len(node.ops)):
+                    slots.append(_list_slot("REPOP", node.ops, op_index))
+            elif isinstance(node, WeightedSum):
+                for term in node.terms:
+                    slots.append(_attr_slot("REPVC", term, "term"))
+            elif isinstance(node, UnaryOpTerm):
+                slots.append(_attr_slot("REPADD", node, "argument"))
+            elif isinstance(node, BinaryOpTerm):
+                if isinstance(node.left, WeightedSum):
+                    slots.append(_attr_slot("REPADD", node, "left"))
+                if isinstance(node.right, WeightedSum):
+                    slots.append(_attr_slot("REPADD", node, "right"))
+            elif isinstance(node, ConditionalOpTerm):
+                slots.append(_attr_slot("REPADD", node, "test"))
+                slots.append(_attr_slot("REPADD", node, "if_true"))
+                slots.append(_attr_slot("REPADD", node, "if_false"))
+                if isinstance(node.threshold, WeightedSum):
+                    slots.append(_attr_slot("REPADD", node, "threshold"))
+    return slots
+
+
+class VariationOperators:
+    """Applies CAFFEINE's variation operators with the configured probabilities."""
+
+    def __init__(self, generator: ExpressionGenerator,
+                 settings: CaffeineSettings,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.generator = generator
+        self.settings = settings
+        self.rng = rng if rng is not None else generator.rng
+        self._operators: List[Tuple[str, float]] = [
+            ("parameter_mutation", settings.parameter_mutation_bias),
+            ("vc_mutation", 1.0),
+            ("vc_crossover", 1.0),
+            ("subtree_mutation", 1.0),
+            ("subtree_crossover", 1.0),
+            ("basis_crossover", 1.0),
+            ("basis_delete", 1.0),
+            ("basis_add", 1.0),
+            ("basis_copy", 1.0),
+        ]
+
+    # ------------------------------------------------------------------
+    # top-level entry point
+    # ------------------------------------------------------------------
+    def vary(self, parent_a: Individual, parent_b: Individual) -> Individual:
+        """Produce one child from two parents using a randomly chosen operator.
+
+        If the chosen operator cannot apply (e.g. deleting from a one-basis
+        individual) it falls back to parameter mutation, which always applies.
+        """
+        names = [name for name, _ in self._operators]
+        weights = np.array([weight for _, weight in self._operators], dtype=float)
+        probabilities = weights / weights.sum()
+        operator_name = str(self.rng.choice(names, p=probabilities))
+        child = self._dispatch(operator_name, parent_a, parent_b)
+        if child is None:
+            child = self.parameter_mutation(parent_a)
+        child = self._enforce_limits(child)
+        return child
+
+    def operator_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self._operators)
+
+    def _dispatch(self, name: str, parent_a: Individual,
+                  parent_b: Individual) -> Optional[Individual]:
+        if name == "parameter_mutation":
+            return self.parameter_mutation(parent_a)
+        if name == "vc_mutation":
+            return self.vc_mutation(parent_a)
+        if name == "vc_crossover":
+            return self.vc_crossover(parent_a, parent_b)
+        if name == "subtree_mutation":
+            return self.subtree_mutation(parent_a)
+        if name == "subtree_crossover":
+            return self.subtree_crossover(parent_a, parent_b)
+        if name == "basis_crossover":
+            return self.basis_crossover(parent_a, parent_b)
+        if name == "basis_delete":
+            return self.basis_delete(parent_a)
+        if name == "basis_add":
+            return self.basis_add(parent_a)
+        if name == "basis_copy":
+            return self.basis_copy(parent_a, parent_b)
+        raise KeyError(f"unknown operator {name!r}")
+
+    # ------------------------------------------------------------------
+    # parameter level
+    # ------------------------------------------------------------------
+    def parameter_mutation(self, parent: Individual) -> Individual:
+        """Cauchy-mutate one (or a few) random weights of a cloned parent."""
+        child = parent.clone()
+        weights = []
+        for basis in child.bases:
+            weights.extend(iter_weights(basis))
+        if not weights:
+            return self.basis_add(parent) or child
+        n_mutations = 1 + int(self.rng.integers(0, 2))
+        for _ in range(n_mutations):
+            weight = weights[int(self.rng.integers(len(weights)))]
+            mutated = weight.mutated(self.rng, self.settings.weight_mutation_scale)
+            weight.stored = mutated.stored
+        return child
+
+    def vc_mutation(self, parent: Individual) -> Optional[Individual]:
+        """Add or subtract 1 to a random exponent of a random variable combo."""
+        child = parent.clone()
+        owners = []
+        for basis in child.bases:
+            owners.extend(iter_variable_combos(basis))
+        if not owners:
+            return None
+        owner, vc = owners[int(self.rng.integers(len(owners)))]
+        owner.vc = vc.mutated(self.rng, self.settings.max_vc_exponent,
+                              self.settings.allow_negative_exponents)
+        return child
+
+    def vc_crossover(self, parent_a: Individual,
+                     parent_b: Individual) -> Optional[Individual]:
+        """One-point crossover between a VC of each parent (child from parent A)."""
+        child = parent_a.clone()
+        owners_a = []
+        for basis in child.bases:
+            owners_a.extend(iter_variable_combos(basis))
+        owners_b = []
+        for basis in parent_b.bases:
+            owners_b.extend(iter_variable_combos(basis))
+        if not owners_a or not owners_b:
+            return None
+        owner_a, vc_a = owners_a[int(self.rng.integers(len(owners_a)))]
+        _, vc_b = owners_b[int(self.rng.integers(len(owners_b)))]
+        new_vc, _ = vc_a.crossover(vc_b, self.rng)
+        owner_a.vc = new_vc
+        return child
+
+    # ------------------------------------------------------------------
+    # tree level
+    # ------------------------------------------------------------------
+    def subtree_mutation(self, parent: Individual) -> Optional[Individual]:
+        """Replace a random subtree with a freshly generated one of the same symbol."""
+        child = parent.clone()
+        slots = collect_slots(child)
+        if not slots:
+            return None
+        slot = slots[int(self.rng.integers(len(slots)))]
+        depth_budget = max(2, self.settings.max_tree_depth - 2)
+        if slot.kind == "REPVC":
+            slot.set(self.generator.random_product_term(depth_budget))
+        elif slot.kind == "REPOP":
+            slot.set(self.generator.random_op_term(depth_budget))
+        else:  # REPADD
+            slot.set(self.generator.random_weighted_sum(depth_budget))
+        return child
+
+    def subtree_crossover(self, parent_a: Individual,
+                          parent_b: Individual) -> Optional[Individual]:
+        """Swap subtrees between parents; only same-symbol roots are exchanged."""
+        child = parent_a.clone()
+        donor = parent_b.clone()
+        child_slots = collect_slots(child)
+        donor_slots = collect_slots(donor)
+        if not child_slots or not donor_slots:
+            return None
+        order = self.rng.permutation(len(child_slots))
+        for slot_index in order:
+            slot = child_slots[int(slot_index)]
+            compatible = [d for d in donor_slots if d.kind == slot.kind]
+            if compatible:
+                donor_slot = compatible[int(self.rng.integers(len(compatible)))]
+                slot.set(donor_slot.get().clone())
+                return child
+        return None
+
+    # ------------------------------------------------------------------
+    # basis-function level
+    # ------------------------------------------------------------------
+    def basis_crossover(self, parent_a: Individual,
+                        parent_b: Individual) -> Optional[Individual]:
+        """New individual from >0 randomly chosen basis functions of each parent."""
+        if not parent_a.bases or not parent_b.bases:
+            return None
+        chosen: List[ProductTerm] = []
+        for parent in (parent_a, parent_b):
+            n_take = 1 + int(self.rng.integers(len(parent.bases)))
+            indices = self.rng.choice(len(parent.bases), size=n_take, replace=False)
+            chosen.extend(parent.bases[i].clone() for i in np.sort(indices))
+        max_bases = self.settings.max_basis_functions
+        if len(chosen) > max_bases:
+            keep = self.rng.choice(len(chosen), size=max_bases, replace=False)
+            chosen = [chosen[i] for i in np.sort(keep)]
+        return Individual(bases=chosen)
+
+    def basis_delete(self, parent: Individual) -> Optional[Individual]:
+        """Delete one random basis function.
+
+        Deleting the last basis function is allowed: the resulting individual
+        is the constant (intercept-only) model, which the paper reports as
+        the zero-complexity end of every trade-off curve.
+        """
+        if parent.n_bases < 1:
+            return None
+        child = parent.clone()
+        index = int(self.rng.integers(len(child.bases)))
+        del child.bases[index]
+        return child
+
+    def basis_add(self, parent: Individual) -> Optional[Individual]:
+        """Add a randomly generated tree as a new basis function."""
+        if parent.n_bases >= self.settings.max_basis_functions:
+            return None
+        child = parent.clone()
+        child.bases.append(self.generator.random_product_term())
+        return child
+
+    def basis_copy(self, parent_a: Individual,
+                   parent_b: Individual) -> Optional[Individual]:
+        """Copy a subtree of parent B to become a new basis function of parent A."""
+        if parent_a.n_bases >= self.settings.max_basis_functions:
+            return None
+        donor_slots = [slot for slot in collect_slots(parent_b)
+                       if slot.kind == "REPVC"]
+        if not donor_slots:
+            return None
+        child = parent_a.clone()
+        slot = donor_slots[int(self.rng.integers(len(donor_slots)))]
+        child.bases.append(slot.get().clone())
+        return child
+
+    # ------------------------------------------------------------------
+    def _enforce_limits(self, child: Individual) -> Individual:
+        """Clamp basis count and tree depth to the configured limits."""
+        max_bases = self.settings.max_basis_functions
+        if len(child.bases) > max_bases:
+            keep = self.rng.choice(len(child.bases), size=max_bases, replace=False)
+            child.bases = [child.bases[i] for i in np.sort(keep)]
+        max_depth = self.settings.max_tree_depth
+        for index, basis in enumerate(child.bases):
+            if basis.depth > max_depth:
+                child.bases[index] = self.generator.random_product_term()
+        return child

@@ -1,0 +1,109 @@
+"""Pareto-dominance utilities (all objectives minimized).
+
+Shared by the NSGA-II selection machinery and by the post-processing steps
+that filter models down to the trade-off of training error vs. complexity and
+later of *testing* error vs. complexity (the rightmost column of the paper's
+Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+__all__ = ["dominates", "nondominated_indices", "nondominated_filter",
+           "fast_nondominated_sort", "crowding_distances"]
+
+T = TypeVar("T")
+Objectives = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b`` (minimization)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have the same length")
+    at_least_as_good = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def nondominated_indices(objective_vectors: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the nondominated vectors (the Pareto front)."""
+    n = len(objective_vectors)
+    result = []
+    for i in range(n):
+        dominated = False
+        for j in range(n):
+            if i != j and dominates(objective_vectors[j], objective_vectors[i]):
+                dominated = True
+                break
+        if not dominated:
+            result.append(i)
+    return result
+
+
+def nondominated_filter(items: Sequence[T],
+                        key: Callable[[T], Sequence[float]]) -> List[T]:
+    """Return the items whose ``key(item)`` objective vectors are nondominated."""
+    vectors = [tuple(key(item)) for item in items]
+    keep = set(nondominated_indices(vectors))
+    return [item for index, item in enumerate(items) if index in keep]
+
+
+def fast_nondominated_sort(objective_vectors: Sequence[Sequence[float]]
+                           ) -> List[List[int]]:
+    """Deb's fast nondominated sort: list of fronts (lists of indices).
+
+    Front 0 is the Pareto front; each subsequent front is nondominated once
+    all previous fronts are removed.
+    """
+    n = len(objective_vectors)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: List[List[int]] = [[]]
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(objective_vectors[i], objective_vectors[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(objective_vectors[j], objective_vectors[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+
+    current = 0
+    while fronts[current]:
+        next_front: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    fronts.pop()  # last front is always empty
+    return fronts
+
+
+def crowding_distances(objective_vectors: Sequence[Sequence[float]]) -> List[float]:
+    """Crowding distance of each vector within its (single) front."""
+    n = len(objective_vectors)
+    if n == 0:
+        return []
+    n_objectives = len(objective_vectors[0])
+    distances = [0.0] * n
+    for m in range(n_objectives):
+        order = sorted(range(n), key=lambda i: objective_vectors[i][m])
+        lowest = objective_vectors[order[0]][m]
+        highest = objective_vectors[order[-1]][m]
+        distances[order[0]] = float("inf")
+        distances[order[-1]] = float("inf")
+        span = highest - lowest
+        if span <= 0 or not (span < float("inf")):
+            continue
+        for position in range(1, n - 1):
+            previous_value = objective_vectors[order[position - 1]][m]
+            next_value = objective_vectors[order[position + 1]][m]
+            distances[order[position]] += (next_value - previous_value) / span
+    return distances

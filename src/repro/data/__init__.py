@@ -1,0 +1,37 @@
+"""Datasets and error metrics shared across the CAFFEINE reproduction.
+
+The modeling pipeline only ever consumes plain ``{x(t), y(t)}`` sample tables,
+mirroring the problem formulation of the paper (Section 2).  This package
+provides:
+
+* :class:`~repro.data.dataset.Dataset` -- an immutable container for a matrix
+  of design points, a vector of performance values and variable names, with
+  helpers for splitting, scaling and filtering non-finite samples.
+* :mod:`~repro.data.metrics` -- normalized mean-squared error and the paper's
+  quality-of-fit measures ``qwc`` (training error) and ``qtc`` (testing error).
+"""
+
+from repro.data.dataset import Dataset, train_test_from_doe
+from repro.data.metrics import (
+    error_normalization,
+    mean_squared_error,
+    normalized_mse,
+    normalized_rmse,
+    q_tc,
+    q_wc,
+    r_squared,
+    relative_rmse,
+)
+
+__all__ = [
+    "Dataset",
+    "train_test_from_doe",
+    "mean_squared_error",
+    "normalized_mse",
+    "normalized_rmse",
+    "error_normalization",
+    "relative_rmse",
+    "q_tc",
+    "q_wc",
+    "r_squared",
+]

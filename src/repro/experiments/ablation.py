@@ -1,0 +1,133 @@
+"""Ablation experiments (extensions beyond the paper's evaluation).
+
+The paper argues that two ingredients make template-free symbolic modeling
+work: the canonical-form grammar (interpretability without losing
+expressiveness) and the multi-objective error/complexity search.  These
+ablations quantify both on the OTA data:
+
+* **plain GP vs CAFFEINE** -- an unrestricted single-tree GP baseline with a
+  comparable evaluation budget; its models are larger (node count) and no
+  more accurate on test data;
+* **restricted grammars** -- CAFFEINE with the function set cut down to
+  rationals or polynomials, measuring what the nonlinear operators buy;
+* **single-objective CAFFEINE** -- error-only search (complexity ignored),
+  which shows the trade-off pressure is what keeps models compact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import CaffeineResult, run_caffeine
+from repro.core.functions import polynomial_function_set, rational_function_set
+from repro.core.settings import CaffeineSettings
+from repro.experiments.setup import OtaDatasets, generate_ota_datasets
+from repro.gp.regression import PlainGPResult, PlainGPSettings, run_plain_gp
+
+__all__ = ["AblationEntry", "AblationResult", "run_ablation"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AblationEntry:
+    """Summary of one modeling approach on one target."""
+
+    approach: str
+    target: str
+    train_error: float
+    test_error: float
+    model_size: float
+    expression: str
+
+    def render(self) -> str:
+        return (f"{self.approach:>22} [{self.target}]  "
+                f"train {100 * self.train_error:6.2f}%  "
+                f"test {100 * self.test_error:6.2f}%  "
+                f"size {self.model_size:6.1f}  {self.expression[:70]}")
+
+
+@dataclasses.dataclass(frozen=True)
+class AblationResult:
+    """All ablation entries for one target."""
+
+    target: str
+    entries: Tuple[AblationEntry, ...]
+
+    def entry(self, approach: str) -> AblationEntry:
+        for item in self.entries:
+            if item.approach == approach:
+                return item
+        raise KeyError(f"no ablation entry for {approach!r}")
+
+    def render(self) -> str:
+        header = f"Ablation study on {self.target}"
+        return "\n".join([header] + [entry.render() for entry in self.entries])
+
+
+def _entry_from_caffeine(approach: str, target: str,
+                         result: CaffeineResult) -> AblationEntry:
+    model = result.best_model(by="test")
+    return AblationEntry(
+        approach=approach,
+        target=target,
+        train_error=model.train_error,
+        test_error=model.test_error,
+        model_size=float(sum(basis.n_nodes for basis in model.bases)),
+        expression=model.expression(),
+    )
+
+
+def _entry_from_plain_gp(target: str, result: PlainGPResult) -> AblationEntry:
+    best = result.best
+    return AblationEntry(
+        approach="plain GP (no grammar)",
+        target=target,
+        train_error=best.train_error,
+        test_error=best.test_error,
+        model_size=float(best.size),
+        expression=best.expression(),
+    )
+
+
+def run_ablation(datasets: Optional[OtaDatasets] = None,
+                 settings: Optional[CaffeineSettings] = None,
+                 target: str = "PM",
+                 include_single_objective: bool = True) -> AblationResult:
+    """Run the ablation study for one OTA performance."""
+    datasets = datasets if datasets is not None else generate_ota_datasets()
+    settings = settings if settings is not None else CaffeineSettings()
+    train, test = datasets.for_target(target)
+
+    entries = []
+
+    full = run_caffeine(train, test, settings)
+    entries.append(_entry_from_caffeine("CAFFEINE (full grammar)", target, full))
+
+    rational = run_caffeine(train, test,
+                            settings.copy(function_set=rational_function_set()))
+    entries.append(_entry_from_caffeine("CAFFEINE (rationals)", target, rational))
+
+    polynomial = run_caffeine(train, test,
+                              settings.copy(function_set=polynomial_function_set()))
+    entries.append(_entry_from_caffeine("CAFFEINE (polynomials)", target, polynomial))
+
+    if include_single_objective:
+        # Error-only pressure: make complexity essentially free so that the
+        # multi-objective machinery degenerates to single-objective search.
+        single = run_caffeine(train, test,
+                              settings.copy(basis_function_cost=0.0,
+                                            vc_exponent_cost=0.0))
+        entries.append(_entry_from_caffeine("CAFFEINE (error-only)", target, single))
+
+    gp_settings = PlainGPSettings(
+        population_size=settings.population_size,
+        n_generations=settings.n_generations,
+        max_depth=settings.max_tree_depth,
+        random_seed=settings.random_seed,
+    )
+    plain = run_plain_gp(train, test, gp_settings)
+    entries.append(_entry_from_plain_gp(target, plain))
+
+    return AblationResult(target=target, entries=tuple(entries))

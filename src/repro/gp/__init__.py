@@ -1,0 +1,36 @@
+"""Plain (canonical, unrestricted) genetic programming baseline.
+
+Section 3 of the paper motivates CAFFEINE by the weaknesses of canonical GP:
+evolved functions are notoriously complex and un-interpretable, and the
+functional form is completely unrestricted.  This package provides exactly
+that baseline -- a classic single-tree, grammar-free GP symbolic regressor --
+so the ablation benchmarks can quantify what the canonical-form grammar and
+the multi-objective search buy: comparable accuracy with far smaller,
+structured models.
+"""
+
+from repro.gp.nodes import (
+    ConstantNode,
+    FunctionNode,
+    GPNode,
+    VariableNode,
+    random_tree,
+)
+from repro.gp.regression import (
+    PlainGPModel,
+    PlainGPResult,
+    PlainGPSettings,
+    run_plain_gp,
+)
+
+__all__ = [
+    "GPNode",
+    "ConstantNode",
+    "VariableNode",
+    "FunctionNode",
+    "random_tree",
+    "PlainGPSettings",
+    "PlainGPModel",
+    "PlainGPResult",
+    "run_plain_gp",
+]

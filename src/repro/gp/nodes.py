@@ -1,0 +1,178 @@
+"""Expression trees for the unrestricted GP baseline.
+
+Unlike the canonical-form AST of :mod:`repro.core.expression`, these trees
+have no structural constraints whatsoever: any operator can appear anywhere,
+constants and variables are ordinary leaves, and nothing forces the model
+into a sum-of-products shape.  That freedom is exactly what makes plain GP
+results hard to read -- which is the point of keeping this baseline around.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["GPNode", "ConstantNode", "VariableNode", "FunctionNode",
+           "GP_FUNCTIONS", "random_tree", "iter_tree", "replace_node"]
+
+
+class GPNode:
+    """Base class of unrestricted GP tree nodes."""
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def clone(self) -> "GPNode":
+        raise NotImplementedError
+
+    def children(self) -> Tuple["GPNode", ...]:
+        return ()
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the subtree."""
+        return 1 + sum(child.size for child in self.children())
+
+    @property
+    def depth(self) -> int:
+        child_depths = [child.depth for child in self.children()]
+        return 1 + (max(child_depths) if child_depths else 0)
+
+    def render(self, variable_names: Sequence[str]) -> str:
+        raise NotImplementedError
+
+
+@dataclasses.dataclass
+class ConstantNode(GPNode):
+    """A numeric constant leaf."""
+
+    value: float
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        return np.full(np.asarray(X).shape[0], float(self.value))
+
+    def clone(self) -> "ConstantNode":
+        return ConstantNode(value=self.value)
+
+    def render(self, variable_names: Sequence[str]) -> str:
+        return f"{self.value:.4g}"
+
+
+@dataclasses.dataclass
+class VariableNode(GPNode):
+    """A design-variable leaf."""
+
+    index: int
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if not 0 <= self.index < X.shape[1]:
+            raise IndexError(f"variable index {self.index} out of range")
+        return X[:, self.index]
+
+    def clone(self) -> "VariableNode":
+        return VariableNode(index=self.index)
+
+    def render(self, variable_names: Sequence[str]) -> str:
+        return variable_names[self.index]
+
+
+#: name -> (arity, vectorized implementation, format template)
+GP_FUNCTIONS: Dict[str, Tuple[int, Callable[..., np.ndarray], str]] = {
+    "add": (2, lambda a, b: a + b, "({0} + {1})"),
+    "sub": (2, lambda a, b: a - b, "({0} - {1})"),
+    "mul": (2, lambda a, b: a * b, "({0} * {1})"),
+    "div": (2, lambda a, b: a / b, "({0} / {1})"),
+    "neg": (1, lambda a: -a, "(-{0})"),
+    "inv": (1, lambda a: 1.0 / a, "(1/{0})"),
+    "sqrt": (1, lambda a: np.sqrt(a), "sqrt({0})"),
+    "ln": (1, lambda a: np.log(a), "ln({0})"),
+    "square": (1, lambda a: np.square(a), "({0})^2"),
+    "sin": (1, lambda a: np.sin(a), "sin({0})"),
+    "cos": (1, lambda a: np.cos(a), "cos({0})"),
+}
+
+
+@dataclasses.dataclass
+class FunctionNode(GPNode):
+    """An internal node applying one of :data:`GP_FUNCTIONS`."""
+
+    name: str
+    args: List[GPNode]
+
+    def __post_init__(self) -> None:
+        if self.name not in GP_FUNCTIONS:
+            raise KeyError(f"unknown GP function {self.name!r}")
+        arity = GP_FUNCTIONS[self.name][0]
+        if len(self.args) != arity:
+            raise ValueError(
+                f"function {self.name!r} expects {arity} arguments, got {len(self.args)}")
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        implementation = GP_FUNCTIONS[self.name][1]
+        with np.errstate(all="ignore"):
+            return implementation(*[arg.evaluate(X) for arg in self.args])
+
+    def clone(self) -> "FunctionNode":
+        return FunctionNode(name=self.name, args=[a.clone() for a in self.args])
+
+    def children(self) -> Tuple[GPNode, ...]:
+        return tuple(self.args)
+
+    def render(self, variable_names: Sequence[str]) -> str:
+        template = GP_FUNCTIONS[self.name][2]
+        return template.format(*[a.render(variable_names) for a in self.args])
+
+
+def random_tree(n_variables: int, max_depth: int, rng: np.random.Generator,
+                grow: bool = True,
+                function_names: Optional[Sequence[str]] = None) -> GPNode:
+    """Random tree via the classic grow/full initialization methods."""
+    if n_variables < 1:
+        raise ValueError("n_variables must be >= 1")
+    if max_depth < 1:
+        raise ValueError("max_depth must be >= 1")
+    names = list(function_names) if function_names is not None else list(GP_FUNCTIONS)
+
+    def terminal() -> GPNode:
+        if rng.random() < 0.6:
+            return VariableNode(index=int(rng.integers(n_variables)))
+        magnitude = 10.0 ** rng.uniform(-2, 2)
+        sign = -1.0 if rng.random() < 0.5 else 1.0
+        return ConstantNode(value=sign * magnitude)
+
+    def build(depth: int) -> GPNode:
+        if depth >= max_depth or (grow and rng.random() < 0.3):
+            return terminal()
+        name = names[int(rng.integers(len(names)))]
+        arity = GP_FUNCTIONS[name][0]
+        return FunctionNode(name=name, args=[build(depth + 1) for _ in range(arity)])
+
+    return build(1)
+
+
+def iter_tree(root: GPNode) -> List[GPNode]:
+    """All nodes of a tree in pre-order."""
+    nodes: List[GPNode] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        stack.extend(reversed(node.children()))
+    return nodes
+
+
+def replace_node(root: GPNode, target: GPNode, replacement: GPNode) -> GPNode:
+    """Return a copy of ``root`` with ``target`` (by identity) replaced.
+
+    If ``target`` is ``root`` itself, the replacement is returned directly.
+    """
+    if root is target:
+        return replacement
+    clone: GPNode
+    if isinstance(root, FunctionNode):
+        new_args = [replace_node(arg, target, replacement) for arg in root.args]
+        return FunctionNode(name=root.name, args=new_args)
+    return root.clone()

@@ -1,0 +1,207 @@
+"""Single-tree GP symbolic regression (the grammar-free baseline).
+
+A deliberately classic setup: a population of unrestricted trees, fitness =
+normalized RMS training error with a mild parsimony pressure, tournament
+selection, subtree crossover and subtree mutation.  The run returns both the
+best individual and the (error, size) front of the final population so that
+ablation benchmarks can contrast plain GP's bloat against CAFFEINE's compact
+canonical-form models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.metrics import error_normalization, relative_rmse
+from repro.core.pareto import nondominated_filter
+from repro.gp.nodes import (
+    GPNode,
+    iter_tree,
+    random_tree,
+    replace_node,
+)
+
+__all__ = ["PlainGPSettings", "PlainGPModel", "run_plain_gp"]
+
+
+@dataclasses.dataclass
+class PlainGPSettings:
+    """Tunables of the plain-GP baseline."""
+
+    population_size: int = 100
+    n_generations: int = 40
+    max_depth: int = 8
+    tournament_size: int = 3
+    p_crossover: float = 0.7
+    p_mutation: float = 0.25
+    #: parsimony coefficient: fitness = error + parsimony * size
+    parsimony: float = 1e-4
+    random_seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 4:
+            raise ValueError("population_size must be at least 4")
+        if self.n_generations < 1:
+            raise ValueError("n_generations must be at least 1")
+        if self.max_depth < 2:
+            raise ValueError("max_depth must be at least 2")
+        if self.tournament_size < 2:
+            raise ValueError("tournament_size must be at least 2")
+        if not 0.0 <= self.p_crossover <= 1.0 or not 0.0 <= self.p_mutation <= 1.0:
+            raise ValueError("probabilities must be in [0, 1]")
+        if self.parsimony < 0:
+            raise ValueError("parsimony must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class PlainGPModel:
+    """A fitted plain-GP symbolic model."""
+
+    target_name: str
+    variable_names: Tuple[str, ...]
+    tree: GPNode
+    train_error: float
+    test_error: float
+    size: int
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.tree.evaluate(np.asarray(X, dtype=float))
+
+    def expression(self) -> str:
+        return self.tree.render(self.variable_names)
+
+    @property
+    def train_error_percent(self) -> float:
+        return 100.0 * self.train_error
+
+    @property
+    def test_error_percent(self) -> float:
+        return 100.0 * self.test_error
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PlainGPModel({self.target_name}: size={self.size}, "
+                f"train={self.train_error_percent:.2f}%, "
+                f"test={self.test_error_percent:.2f}%)")
+
+
+@dataclasses.dataclass
+class _Candidate:
+    tree: GPNode
+    error: float
+    size: int
+
+    @property
+    def objectives(self) -> Tuple[float, float]:
+        return (self.error, float(self.size))
+
+
+@dataclasses.dataclass
+class PlainGPResult:
+    """Best model plus the final population's (error, size) front."""
+
+    best: PlainGPModel
+    front: Tuple[PlainGPModel, ...]
+
+
+def _evaluate(tree: GPNode, X: np.ndarray, y: np.ndarray,
+              normalization: float) -> float:
+    predictions = tree.evaluate(X)
+    if not np.all(np.isfinite(predictions)):
+        return float("inf")
+    return relative_rmse(y, predictions, normalization)
+
+
+def _tournament(population: Sequence[_Candidate], settings: PlainGPSettings,
+                rng: np.random.Generator) -> _Candidate:
+    indices = rng.integers(len(population), size=settings.tournament_size)
+    best = min((population[int(i)] for i in indices),
+               key=lambda c: c.error + settings.parsimony * c.size)
+    return best
+
+
+def _crossover(parent_a: GPNode, parent_b: GPNode, max_depth: int,
+               rng: np.random.Generator) -> GPNode:
+    nodes_a = iter_tree(parent_a)
+    nodes_b = iter_tree(parent_b)
+    target = nodes_a[int(rng.integers(len(nodes_a)))]
+    donor = nodes_b[int(rng.integers(len(nodes_b)))].clone()
+    child = replace_node(parent_a, target, donor)
+    return child if child.depth <= max_depth else parent_a.clone()
+
+
+def _mutate(parent: GPNode, n_variables: int, max_depth: int,
+            rng: np.random.Generator) -> GPNode:
+    nodes = iter_tree(parent)
+    target = nodes[int(rng.integers(len(nodes)))]
+    replacement = random_tree(n_variables, max_depth=max(2, max_depth - 2), rng=rng)
+    child = replace_node(parent, target, replacement)
+    return child if child.depth <= max_depth else parent.clone()
+
+
+def run_plain_gp(train: Dataset, test: Optional[Dataset] = None,
+                 settings: Optional[PlainGPSettings] = None) -> PlainGPResult:
+    """Run the unrestricted-GP baseline on a dataset."""
+    settings = settings if settings is not None else PlainGPSettings()
+    train = train.drop_nonfinite()
+    test = test.drop_nonfinite() if test is not None else None
+    rng = np.random.default_rng(settings.random_seed)
+    normalization = error_normalization(train.y)
+
+    population: List[_Candidate] = []
+    for i in range(settings.population_size):
+        tree = random_tree(train.n_variables, settings.max_depth, rng,
+                           grow=bool(i % 2))
+        population.append(_Candidate(
+            tree, _evaluate(tree, train.X, train.y, normalization), tree.size))
+
+    for _ in range(settings.n_generations):
+        offspring: List[_Candidate] = []
+        # Elitism: keep the best individual unchanged.
+        best = min(population, key=lambda c: c.error + settings.parsimony * c.size)
+        offspring.append(_Candidate(best.tree.clone(), best.error, best.size))
+        while len(offspring) < settings.population_size:
+            parent_a = _tournament(population, settings, rng)
+            roll = rng.random()
+            if roll < settings.p_crossover:
+                parent_b = _tournament(population, settings, rng)
+                child_tree = _crossover(parent_a.tree, parent_b.tree,
+                                        settings.max_depth, rng)
+            elif roll < settings.p_crossover + settings.p_mutation:
+                child_tree = _mutate(parent_a.tree, train.n_variables,
+                                     settings.max_depth, rng)
+            else:
+                child_tree = parent_a.tree.clone()
+            offspring.append(_Candidate(
+                child_tree, _evaluate(child_tree, train.X, train.y, normalization),
+                child_tree.size))
+        population = offspring
+
+    def freeze(candidate: _Candidate) -> PlainGPModel:
+        test_error = float("nan")
+        if test is not None:
+            predictions = candidate.tree.evaluate(test.X)
+            test_error = relative_rmse(test.y, predictions, normalization) \
+                if np.all(np.isfinite(predictions)) else float("inf")
+        return PlainGPModel(
+            target_name=train.target_name,
+            variable_names=train.variable_names,
+            tree=candidate.tree.clone(),
+            train_error=candidate.error,
+            test_error=test_error,
+            size=candidate.size,
+        )
+
+    feasible = [c for c in population if np.isfinite(c.error)]
+    if not feasible:
+        raise RuntimeError("plain GP produced no feasible individual")
+    best_candidate = min(feasible,
+                         key=lambda c: c.error + settings.parsimony * c.size)
+    front_candidates = nondominated_filter(feasible, key=lambda c: c.objectives)
+    return PlainGPResult(
+        best=freeze(best_candidate),
+        front=tuple(freeze(c) for c in front_candidates),
+    )

@@ -1,0 +1,34 @@
+"""Posynomial performance-model baseline (Daems, Gielen & Sansen).
+
+The paper compares CAFFEINE against simulation-based posynomial performance
+models (DAC'02 / IEEE TCAD May 2003).  A posynomial is a sum of monomials
+with non-negative coefficients::
+
+    f(x) = sum_k  c_k * x_1^{a_1k} * ... * x_d^{a_dk},   c_k >= 0
+
+The baseline here follows the template-based recipe of that work: a fixed
+monomial template (constant, linear, quadratic and pairwise-ratio terms) is
+fitted to the training data by non-negative least squares, in the "signomial"
+variant that allows a free constant term and fits the positive and negative
+parts separately when a plain posynomial cannot follow the data.  Errors are
+measured with the same quality-of-fit metrics (qwc on training data, qtc on
+testing data) used for CAFFEINE, which is exactly the comparison of the
+paper's Figure 4.
+"""
+
+from repro.posynomial.template import (
+    Monomial,
+    PosynomialTemplate,
+    full_quadratic_template,
+    linear_template,
+)
+from repro.posynomial.model import PosynomialModel, fit_posynomial
+
+__all__ = [
+    "Monomial",
+    "PosynomialTemplate",
+    "linear_template",
+    "full_quadratic_template",
+    "PosynomialModel",
+    "fit_posynomial",
+]

@@ -1,0 +1,156 @@
+"""Monomial templates for posynomial performance models.
+
+The posynomial approach the paper compares against is *template-based*: the
+set of monomials (exponent vectors) is fixed a priori, and only the
+coefficients are fitted to simulation data.  This module defines the
+:class:`Monomial` and :class:`PosynomialTemplate` building blocks and the two
+standard templates used in that literature:
+
+* :func:`linear_template` -- constant + one monomial of degree +1 and one of
+  degree -1 per variable;
+* :func:`full_quadratic_template` -- the template of Daems et al.: constant,
+  linear terms, squared terms and pairwise product/ratio terms.  For the
+  paper's 13-variable OTA problem this template has dozens of terms, which is
+  precisely the interpretability criticism CAFFEINE addresses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Monomial", "PosynomialTemplate", "linear_template",
+           "full_quadratic_template"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Monomial:
+    """A product of design variables raised to (possibly negative) powers."""
+
+    exponents: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "exponents",
+                           tuple(float(e) for e in self.exponents))
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.exponents)
+
+    @property
+    def degree(self) -> float:
+        """Sum of absolute exponents."""
+        return float(sum(abs(e) for e in self.exponents))
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the monomial on strictly positive sample points."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_variables:
+            raise ValueError(
+                f"X must have {self.n_variables} columns, got shape {X.shape}")
+        result = np.ones(X.shape[0])
+        with np.errstate(all="ignore"):
+            for index, exponent in enumerate(self.exponents):
+                if exponent != 0.0:
+                    result = result * np.power(X[:, index], exponent)
+        return result
+
+    def render(self, variable_names: Sequence[str]) -> str:
+        parts = []
+        for name, exponent in zip(variable_names, self.exponents):
+            if exponent == 0.0:
+                continue
+            if exponent == 1.0:
+                parts.append(name)
+            else:
+                exponent_text = (f"{int(exponent)}" if float(exponent).is_integer()
+                                 else f"{exponent:g}")
+                parts.append(f"{name}^{exponent_text}")
+        return "*".join(parts) if parts else "1"
+
+
+class PosynomialTemplate:
+    """An ordered collection of monomials defining the model structure."""
+
+    def __init__(self, monomials: Sequence[Monomial], n_variables: int) -> None:
+        for monomial in monomials:
+            if monomial.n_variables != n_variables:
+                raise ValueError("all monomials must cover the same variables")
+        self.n_variables = int(n_variables)
+        self.monomials: Tuple[Monomial, ...] = tuple(monomials)
+
+    def __len__(self) -> int:
+        return len(self.monomials)
+
+    def __iter__(self):
+        return iter(self.monomials)
+
+    def feature_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate every monomial; shape ``(n_samples, n_monomials)``."""
+        X = np.asarray(X, dtype=float)
+        if len(self.monomials) == 0:
+            return np.zeros((X.shape[0], 0))
+        return np.column_stack([m.evaluate(X) for m in self.monomials])
+
+    def render(self, variable_names: Sequence[str]) -> List[str]:
+        return [m.render(variable_names) for m in self.monomials]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PosynomialTemplate(n_variables={self.n_variables}, "
+                f"n_monomials={len(self.monomials)})")
+
+
+def _unit(n_variables: int, index: int, value: float) -> Tuple[float, ...]:
+    exponents = [0.0] * n_variables
+    exponents[index] = value
+    return tuple(exponents)
+
+
+def linear_template(n_variables: int, include_inverse: bool = True
+                    ) -> PosynomialTemplate:
+    """Constant-free linear template: ``x_i`` and optionally ``1/x_i`` terms."""
+    if n_variables < 1:
+        raise ValueError("n_variables must be >= 1")
+    monomials = [Monomial(_unit(n_variables, i, 1.0)) for i in range(n_variables)]
+    if include_inverse:
+        monomials += [Monomial(_unit(n_variables, i, -1.0))
+                      for i in range(n_variables)]
+    return PosynomialTemplate(monomials, n_variables)
+
+
+def full_quadratic_template(n_variables: int, include_ratios: bool = True
+                            ) -> PosynomialTemplate:
+    """The Daems-style second-order template.
+
+    Terms: ``x_i``, ``1/x_i``, ``x_i^2``, ``1/x_i^2``, pairwise products
+    ``x_i*x_j`` and (optionally) pairwise ratios ``x_i/x_j``.  For 13
+    variables this yields 13*4 + 78 + 156 = 286 candidate monomials; the NNLS
+    fit drives most coefficients to exactly zero, and the paper's criticism
+    ("the models have dozens of terms") refers to the surviving ones.
+    """
+    if n_variables < 1:
+        raise ValueError("n_variables must be >= 1")
+    monomials: List[Monomial] = []
+    for i in range(n_variables):
+        monomials.append(Monomial(_unit(n_variables, i, 1.0)))
+        monomials.append(Monomial(_unit(n_variables, i, -1.0)))
+        monomials.append(Monomial(_unit(n_variables, i, 2.0)))
+        monomials.append(Monomial(_unit(n_variables, i, -2.0)))
+    for i, j in itertools.combinations(range(n_variables), 2):
+        exponents = [0.0] * n_variables
+        exponents[i] = 1.0
+        exponents[j] = 1.0
+        monomials.append(Monomial(tuple(exponents)))
+        if include_ratios:
+            ratio_ij = [0.0] * n_variables
+            ratio_ij[i] = 1.0
+            ratio_ij[j] = -1.0
+            monomials.append(Monomial(tuple(ratio_ij)))
+            ratio_ji = [0.0] * n_variables
+            ratio_ji[i] = -1.0
+            ratio_ji[j] = 1.0
+            monomials.append(Monomial(tuple(ratio_ji)))
+    return PosynomialTemplate(monomials, n_variables)

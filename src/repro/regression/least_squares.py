@@ -1,0 +1,146 @@
+"""Least-squares fitting of linearly weighted basis functions.
+
+In CAFFEINE the overall expression is ``y = w0 + sum_j wj * basis_j(x)``:
+the basis functions are evolved by GP, the weights ``wj`` and intercept
+``w0`` are learned by linear least squares on the training data.  This module
+implements that fit with the numerical safeguards needed when basis functions
+are nearly collinear or badly scaled (a common occurrence for randomly
+generated expressions): a tiny ridge term and column scaling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["LinearFit", "design_matrix", "fit_linear", "predict_linear"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LinearFit:
+    """Result of fitting ``y ~ intercept + basis_matrix @ coefficients``."""
+
+    intercept: float
+    coefficients: np.ndarray
+    residual_sum_of_squares: float
+    rank: int
+    singular: bool
+
+    @property
+    def n_terms(self) -> int:
+        """Number of (non-intercept) basis functions in the fit."""
+        return int(self.coefficients.shape[0])
+
+    def predict(self, basis_matrix: np.ndarray) -> np.ndarray:
+        """Predictions for a basis matrix with the same columns as the fit."""
+        return predict_linear(self, basis_matrix)
+
+
+def design_matrix(basis_matrix: np.ndarray, include_intercept: bool = True
+                  ) -> np.ndarray:
+    """Prepend an intercept column of ones to a basis matrix."""
+    basis_matrix = np.asarray(basis_matrix, dtype=float)
+    if basis_matrix.ndim != 2:
+        raise ValueError("basis_matrix must be 2-D (n_samples, n_bases)")
+    if not include_intercept:
+        return basis_matrix
+    ones = np.ones((basis_matrix.shape[0], 1))
+    return np.hstack([ones, basis_matrix])
+
+
+def fit_linear(basis_matrix: np.ndarray, y: np.ndarray,
+               ridge: float = 1e-10,
+               include_intercept: bool = True) -> Optional[LinearFit]:
+    """Fit ``y ~ w0 + basis_matrix @ w`` by (slightly ridged) least squares.
+
+    Parameters
+    ----------
+    basis_matrix:
+        Array of shape ``(n_samples, n_bases)``; may have zero columns, in
+        which case only the intercept is fitted.
+    y:
+        Target vector of length ``n_samples``.
+    ridge:
+        Small Tikhonov term added to the normal equations for numerical
+        robustness against collinear evolved basis functions.  The intercept
+        is never penalized.
+    include_intercept:
+        Whether to include the constant term ``w0``.
+
+    Returns
+    -------
+    LinearFit or None
+        ``None`` when the basis matrix contains non-finite entries (an
+        evolved expression that overflows on the training data); the caller
+        treats such individuals as infeasible.
+    """
+    basis_matrix = np.asarray(basis_matrix, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if basis_matrix.ndim != 2:
+        raise ValueError("basis_matrix must be 2-D (n_samples, n_bases)")
+    if basis_matrix.shape[0] != y.shape[0]:
+        raise ValueError("basis_matrix and y disagree on the number of samples")
+    if y.size == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if not np.all(np.isfinite(basis_matrix)) or not np.all(np.isfinite(y)):
+        return None
+
+    n_samples, n_bases = basis_matrix.shape
+    if n_bases == 0:
+        intercept = float(np.mean(y)) if include_intercept else 0.0
+        residuals = y - intercept
+        return LinearFit(intercept=intercept, coefficients=np.zeros(0),
+                         residual_sum_of_squares=float(residuals @ residuals),
+                         rank=1 if include_intercept else 0, singular=False)
+
+    # Scale columns to unit RMS so the ridge term acts uniformly.
+    scales = np.sqrt(np.mean(basis_matrix ** 2, axis=0))
+    scales[scales < 1e-300] = 1.0
+    scaled = basis_matrix / scales
+
+    design = design_matrix(scaled, include_intercept)
+    gram = design.T @ design
+    penalty = np.eye(design.shape[1]) * ridge * max(1.0, float(np.trace(gram)))
+    if include_intercept:
+        penalty[0, 0] = 0.0
+    rhs = design.T @ y
+    try:
+        solution = np.linalg.solve(gram + penalty, rhs)
+        singular = False
+    except np.linalg.LinAlgError:
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        singular = True
+    if not np.all(np.isfinite(solution)):
+        return None
+
+    if include_intercept:
+        intercept = float(solution[0])
+        coefficients = solution[1:] / scales
+    else:
+        intercept = 0.0
+        coefficients = solution / scales
+
+    predictions = basis_matrix @ coefficients + intercept
+    residuals = y - predictions
+    rank = int(np.linalg.matrix_rank(design))
+    return LinearFit(intercept=intercept,
+                     coefficients=np.asarray(coefficients, dtype=float),
+                     residual_sum_of_squares=float(residuals @ residuals),
+                     rank=rank, singular=singular)
+
+
+def predict_linear(fit: LinearFit, basis_matrix: np.ndarray) -> np.ndarray:
+    """Evaluate a :class:`LinearFit` on a new basis matrix."""
+    basis_matrix = np.asarray(basis_matrix, dtype=float)
+    if basis_matrix.ndim != 2:
+        raise ValueError("basis_matrix must be 2-D")
+    if basis_matrix.shape[1] != fit.n_terms:
+        raise ValueError(
+            f"fit has {fit.n_terms} terms but basis matrix has "
+            f"{basis_matrix.shape[1]} columns"
+        )
+    if fit.n_terms == 0:
+        return np.full(basis_matrix.shape[0], fit.intercept)
+    return basis_matrix @ fit.coefficients + fit.intercept

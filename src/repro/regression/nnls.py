@@ -1,0 +1,71 @@
+"""Non-negative least squares, used by the posynomial baseline.
+
+A posynomial is a sum of monomials with *non-negative* coefficients.  Fitting
+the coefficients of a fixed monomial template to data is therefore a
+non-negative least-squares (NNLS) problem.  SciPy provides a reliable active
+set solver; this wrapper adds the intercept handling and the column scaling
+used elsewhere in the package.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.optimize import nnls as scipy_nnls
+
+__all__ = ["nonnegative_least_squares"]
+
+
+def nonnegative_least_squares(features: np.ndarray, y: np.ndarray,
+                              include_intercept: bool = False
+                              ) -> Tuple[np.ndarray, float]:
+    """Solve ``min ||features @ c - y||`` subject to ``c >= 0``.
+
+    Parameters
+    ----------
+    features:
+        Monomial feature matrix of shape ``(n_samples, n_features)``.
+    y:
+        Target vector.
+    include_intercept:
+        When True, an unconstrained intercept is handled by centering: the
+        intercept is ``mean(y - features @ c)`` after solving the constrained
+        problem on centered data.  (A posynomial proper has a non-negative
+        constant; the baseline of Daems et al. allows a free constant term,
+        which this option reproduces.)
+
+    Returns
+    -------
+    (coefficients, intercept)
+    """
+    features = np.asarray(features, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if features.ndim != 2:
+        raise ValueError("features must be 2-D")
+    if features.shape[0] != y.shape[0]:
+        raise ValueError("features and y disagree on the number of samples")
+    if not np.all(np.isfinite(features)) or not np.all(np.isfinite(y)):
+        raise ValueError("features and y must be finite")
+
+    scales = np.sqrt(np.mean(features ** 2, axis=0))
+    scales[scales < 1e-300] = 1.0
+    scaled = features / scales
+
+    if include_intercept:
+        # Alternate between the unconstrained intercept and the NNLS solve a
+        # few times; this converges very quickly in practice.
+        intercept = float(np.mean(y))
+        coefficients = np.zeros(features.shape[1])
+        for _ in range(20):
+            solution, _ = scipy_nnls(scaled, y - intercept)
+            new_intercept = float(np.mean(y - scaled @ solution))
+            converged = abs(new_intercept - intercept) <= 1e-12 * max(1.0, abs(intercept))
+            intercept = new_intercept
+            coefficients = solution
+            if converged:
+                break
+        return coefficients / scales, intercept
+
+    solution, _ = scipy_nnls(scaled, y)
+    return solution / scales, 0.0

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (OTA datasets, CAFFEINE runs) are built once per session
+with deliberately small budgets so the whole suite stays fast while still
+exercising the full pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.settings import CaffeineSettings
+from repro.data.dataset import Dataset
+from repro.experiments.setup import generate_ota_datasets
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def _rational_dataset(n_samples: int, seed: int) -> Dataset:
+    """Samples of ``y = 3 + 2*a/b + 0.5*c`` on a positive design region."""
+    generator = np.random.default_rng(seed)
+    X = generator.uniform(0.5, 2.0, size=(n_samples, 3))
+    y = 3.0 + 2.0 * X[:, 0] / X[:, 1] + 0.5 * X[:, 2]
+    return Dataset(X, y, variable_names=("a", "b", "c"), target_name="y")
+
+
+@pytest.fixture(scope="session")
+def rational_train() -> Dataset:
+    return _rational_dataset(120, seed=0)
+
+
+@pytest.fixture(scope="session")
+def rational_test() -> Dataset:
+    return _rational_dataset(80, seed=1)
+
+
+@pytest.fixture(scope="session")
+def fast_settings() -> CaffeineSettings:
+    """Small evolutionary budget used by engine-level tests."""
+    return CaffeineSettings(
+        population_size=30,
+        n_generations=8,
+        max_basis_functions=6,
+        max_initial_basis_functions=3,
+        random_seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def ota_datasets():
+    """Small OTA datasets (27-run orthogonal array) shared across tests."""
+    return generate_ota_datasets(n_runs=27)
+
+
+@pytest.fixture(scope="session")
+def ota_datasets_full():
+    """The paper-sized 243-run datasets (used by a handful of tests)."""
+    return generate_ota_datasets(n_runs=243)

@@ -1,0 +1,57 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main, settings_from_args
+
+
+class TestParser:
+    def test_all_commands_accepted(self):
+        parser = build_parser()
+        for command in ("datasets", "figure3", "table1", "table2", "figure4",
+                        "ablation"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure5"])
+
+    def test_settings_from_args(self):
+        args = build_parser().parse_args(
+            ["table1", "--population", "33", "--generations", "7", "--seed", "5"])
+        settings = settings_from_args(args)
+        assert settings.population_size == 33
+        assert settings.n_generations == 7
+        assert settings.random_seed == 5
+
+    def test_paper_budget_flag(self):
+        args = build_parser().parse_args(["figure3", "--paper-budget"])
+        settings = settings_from_args(args)
+        assert settings.population_size == 200
+        assert settings.n_generations == 5000
+
+
+class TestMain:
+    def test_datasets_command(self, capsys):
+        exit_code = main(["datasets", "--runs", "27"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "OTA datasets" in output
+        assert "PM" in output
+
+    def test_table1_command_small_budget(self, capsys):
+        exit_code = main(["table1", "--runs", "27", "--population", "20",
+                          "--generations", "3", "--targets", "SRp"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "SRp" in output
+
+    def test_table2_command_small_budget(self, capsys):
+        exit_code = main(["table2", "--runs", "27", "--population", "20",
+                          "--generations", "3", "--target", "SRn"])
+        assert exit_code == 0
+        assert "Table II" in capsys.readouterr().out

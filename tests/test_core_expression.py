@@ -1,0 +1,209 @@
+"""Unit tests for the canonical-form expression AST."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.expression import (
+    BinaryOpTerm,
+    ConditionalOpTerm,
+    ProductTerm,
+    UnaryOpTerm,
+    WeightedSum,
+    WeightedTerm,
+    iter_nodes,
+    iter_variable_combos,
+    iter_weights,
+)
+from repro.core.functions import BINARY_OPERATORS, UNARY_OPERATORS, Operator
+from repro.core.variable_combo import VariableCombo
+from repro.core.weights import Weight
+
+
+def vc(*exponents):
+    return VariableCombo(tuple(exponents))
+
+
+def weight(value):
+    return Weight.from_value(value)
+
+
+@pytest.fixture
+def sample_X():
+    return np.array([[1.0, 2.0, 4.0],
+                     [2.0, 1.0, 3.0],
+                     [0.5, 4.0, 2.0]])
+
+
+class TestProductTerm:
+    def test_vc_only_evaluation(self, sample_X):
+        term = ProductTerm(vc=vc(1, -1, 0))
+        np.testing.assert_allclose(term.evaluate(sample_X),
+                                   sample_X[:, 0] / sample_X[:, 1])
+
+    def test_requires_content(self):
+        with pytest.raises(ValueError):
+            ProductTerm(vc=None, ops=[])
+
+    def test_product_of_vc_and_operator(self, sample_X):
+        inner = WeightedSum(offset=weight(0.0),
+                            terms=[WeightedTerm(weight(1.0), ProductTerm(vc=vc(0, 0, 1)))])
+        op_term = UnaryOpTerm(op=UNARY_OPERATORS["ln"], argument=inner)
+        term = ProductTerm(vc=vc(1, 0, 0), ops=[op_term])
+        expected = sample_X[:, 0] * np.log(sample_X[:, 2])
+        np.testing.assert_allclose(term.evaluate(sample_X), expected)
+
+    def test_clone_is_deep(self):
+        term = ProductTerm(vc=vc(1, 0, 0))
+        duplicate = term.clone()
+        duplicate.vc = vc(0, 1, 0)
+        assert term.vc == vc(1, 0, 0)
+
+    def test_n_nodes_and_depth(self):
+        simple = ProductTerm(vc=vc(1, 0, 0))
+        assert simple.n_nodes == 2  # product term + VC terminal
+        assert simple.depth == 1
+        inner = WeightedSum(offset=weight(0.0),
+                            terms=[WeightedTerm(weight(1.0), ProductTerm(vc=vc(1, 0, 0)))])
+        nested = ProductTerm(ops=[UnaryOpTerm(UNARY_OPERATORS["inv"], inner)])
+        # product term -> operator -> weighted sum -> inner product term
+        assert nested.depth == 4
+        assert nested.n_nodes > simple.n_nodes
+
+    def test_render(self):
+        term = ProductTerm(vc=vc(1, -1, 0))
+        assert term.render(("a", "b", "c")) == "a / b"
+        constant = ProductTerm(vc=vc(0, 0, 0))
+        assert constant.render(("a", "b", "c")) == "1"
+
+
+class TestWeightedSum:
+    def test_evaluation(self, sample_X):
+        ws = WeightedSum(
+            offset=weight(2.0),
+            terms=[WeightedTerm(weight(3.0), ProductTerm(vc=vc(1, 0, 0))),
+                   WeightedTerm(weight(-1.0), ProductTerm(vc=vc(0, 1, 0)))])
+        expected = 2.0 + 3.0 * sample_X[:, 0] - sample_X[:, 1]
+        np.testing.assert_allclose(ws.evaluate(sample_X), expected, rtol=1e-9)
+
+    def test_render_contains_offset_and_terms(self):
+        ws = WeightedSum(offset=weight(1.5),
+                         terms=[WeightedTerm(weight(2.0), ProductTerm(vc=vc(1, 0, 0)))])
+        text = ws.render(("a", "b", "c"))
+        assert "1.5" in text and "a" in text and "+" in text
+
+    def test_clone_independent(self):
+        ws = WeightedSum(offset=weight(1.0),
+                         terms=[WeightedTerm(weight(1.0), ProductTerm(vc=vc(1, 0, 0)))])
+        duplicate = ws.clone()
+        duplicate.offset.stored = 0.0
+        assert ws.offset.stored != 0.0 or ws.offset.value == 1.0
+
+
+class TestUnaryOpTerm:
+    def test_rejects_binary_operator(self):
+        inner = WeightedSum(offset=weight(1.0), terms=[])
+        with pytest.raises(ValueError):
+            UnaryOpTerm(op=BINARY_OPERATORS["div"], argument=inner)
+
+    def test_evaluation_and_render(self, sample_X):
+        inner = WeightedSum(offset=weight(0.0),
+                            terms=[WeightedTerm(weight(1.0), ProductTerm(vc=vc(1, 0, 0)))])
+        term = UnaryOpTerm(op=UNARY_OPERATORS["square"], argument=inner)
+        np.testing.assert_allclose(term.evaluate(sample_X), sample_X[:, 0] ** 2,
+                                   rtol=1e-9)
+        assert "^2" in term.render(("a", "b", "c"))
+
+    def test_domain_violation_produces_nonfinite(self, sample_X):
+        inner = WeightedSum(offset=weight(-10.0), terms=[])
+        term = UnaryOpTerm(op=UNARY_OPERATORS["ln"], argument=inner)
+        assert not np.all(np.isfinite(term.evaluate(sample_X)))
+
+
+class TestBinaryOpTerm:
+    def test_two_constants_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOpTerm(op=BINARY_OPERATORS["div"], left=weight(1.0),
+                         right=weight(2.0))
+
+    def test_rejects_unary_operator(self):
+        inner = WeightedSum(offset=weight(1.0), terms=[])
+        with pytest.raises(ValueError):
+            BinaryOpTerm(op=UNARY_OPERATORS["ln"], left=inner, right=weight(1.0))
+
+    def test_division_with_constant_denominator(self, sample_X):
+        numerator = WeightedSum(offset=weight(0.0),
+                                terms=[WeightedTerm(weight(1.0),
+                                                    ProductTerm(vc=vc(0, 1, 0)))])
+        term = BinaryOpTerm(op=BINARY_OPERATORS["div"], left=numerator,
+                            right=weight(2.0))
+        np.testing.assert_allclose(term.evaluate(sample_X), sample_X[:, 1] / 2.0,
+                                   rtol=1e-9)
+
+    def test_pow_with_constant_exponent(self, sample_X):
+        base = WeightedSum(offset=weight(0.0),
+                           terms=[WeightedTerm(weight(1.0),
+                                               ProductTerm(vc=vc(1, 0, 0)))])
+        term = BinaryOpTerm(op=BINARY_OPERATORS["pow"], left=base, right=weight(2.0))
+        np.testing.assert_allclose(term.evaluate(sample_X), sample_X[:, 0] ** 2.0,
+                                   rtol=1e-6)
+
+    def test_clone_and_children(self):
+        expr = WeightedSum(offset=weight(1.0), terms=[])
+        term = BinaryOpTerm(op=BINARY_OPERATORS["max"], left=expr, right=weight(0.0))
+        assert len(term.children()) == 1
+        duplicate = term.clone()
+        assert duplicate is not term
+        assert duplicate.op is term.op
+
+
+class TestConditionalOpTerm:
+    def _lte(self):
+        return Operator("lte", 2, lambda a, b: a, "lte", "LTE")
+
+    def test_selects_branches(self, sample_X):
+        test_expr = WeightedSum(offset=weight(0.0),
+                                terms=[WeightedTerm(weight(1.0),
+                                                    ProductTerm(vc=vc(1, 0, 0)))])
+        low = WeightedSum(offset=weight(-1.0), terms=[])
+        high = WeightedSum(offset=weight(+1.0), terms=[])
+        term = ConditionalOpTerm(op=self._lte(), test=test_expr,
+                                 threshold=weight(1.0), if_true=low, if_false=high)
+        values = term.evaluate(sample_X)
+        expected = np.where(sample_X[:, 0] <= 1.0, -1.0, 1.0)
+        np.testing.assert_allclose(values, expected)
+
+    def test_render_mentions_lte(self, sample_X):
+        test_expr = WeightedSum(offset=weight(0.0), terms=[])
+        term = ConditionalOpTerm(op=self._lte(), test=test_expr,
+                                 threshold=weight(0.0),
+                                 if_true=WeightedSum(offset=weight(1.0), terms=[]),
+                                 if_false=WeightedSum(offset=weight(2.0), terms=[]))
+        assert term.render(("a", "b", "c")).startswith("lte(")
+        assert term.n_nodes > 3
+
+
+class TestTraversal:
+    def _nested_term(self):
+        inner_sum = WeightedSum(
+            offset=weight(1.0),
+            terms=[WeightedTerm(weight(2.0), ProductTerm(vc=vc(0, 1, 0)))])
+        op_term = UnaryOpTerm(op=UNARY_OPERATORS["inv"], argument=inner_sum)
+        return ProductTerm(vc=vc(1, 0, 0), ops=[op_term])
+
+    def test_iter_nodes_reaches_nested(self):
+        term = self._nested_term()
+        kinds = {type(node).__name__ for node in iter_nodes(term)}
+        assert {"ProductTerm", "UnaryOpTerm", "WeightedSum"} <= kinds
+
+    def test_iter_weights_counts_all(self):
+        term = self._nested_term()
+        weights = list(iter_weights(term))
+        assert len(weights) == 2  # offset and inner term weight
+
+    def test_iter_variable_combos(self):
+        term = self._nested_term()
+        combos = [combo for _, combo in iter_variable_combos(term)]
+        assert vc(1, 0, 0) in combos and vc(0, 1, 0) in combos
+        assert term.variable_combos() == combos

@@ -1,0 +1,133 @@
+"""Tests for Pareto utilities and the NSGA-II selection machinery."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.nsga2 import (
+    binary_tournament,
+    environmental_selection,
+    rank_population,
+)
+from repro.core.pareto import (
+    crowding_distances,
+    dominates,
+    fast_nondominated_sort,
+    nondominated_filter,
+    nondominated_indices,
+)
+
+
+@dataclasses.dataclass
+class Point:
+    objectives: Tuple[float, float]
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_non_dominance(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+    def test_nondominated_indices_simple_front(self):
+        vectors = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (3.0, 3.0)]
+        assert nondominated_indices(vectors) == [0, 1, 2]
+
+    def test_nondominated_filter_on_objects(self):
+        points = [Point((1.0, 4.0)), Point((2.0, 2.0)), Point((3.0, 3.0))]
+        front = nondominated_filter(points, key=lambda p: p.objectives)
+        assert points[2] not in front
+        assert len(front) == 2
+
+
+class TestFastNondominatedSort:
+    def test_fronts_are_ordered(self):
+        vectors = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (1.5, 0.5)]
+        fronts = fast_nondominated_sort(vectors)
+        assert set(fronts[0]) == {0, 3}
+        assert fronts[1] == [1]
+        assert fronts[2] == [2]
+
+    def test_all_nondominated_single_front(self):
+        vectors = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+        fronts = fast_nondominated_sort(vectors)
+        assert len(fronts) == 1
+        assert set(fronts[0]) == {0, 1, 2}
+
+    def test_every_index_appears_exactly_once(self):
+        rng = np.random.default_rng(0)
+        vectors = [tuple(v) for v in rng.random((40, 2))]
+        fronts = fast_nondominated_sort(vectors)
+        flattened = [i for front in fronts for i in front]
+        assert sorted(flattened) == list(range(40))
+
+
+class TestCrowding:
+    def test_boundary_points_infinite(self):
+        vectors = [(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (4.0, 1.0)]
+        distances = crowding_distances(vectors)
+        assert distances[0] == float("inf")
+        assert distances[-1] == float("inf")
+        assert np.isfinite(distances[1]) and np.isfinite(distances[2])
+
+    def test_denser_region_has_smaller_distance(self):
+        vectors = [(0.0, 10.0), (1.0, 5.0), (1.1, 4.9), (1.2, 4.8), (10.0, 0.0)]
+        distances = crowding_distances(vectors)
+        assert distances[2] < distances[1]
+
+    def test_empty(self):
+        assert crowding_distances([]) == []
+
+
+class TestNsga2Selection:
+    def _population(self):
+        return [Point((1.0, 5.0)), Point((2.0, 3.0)), Point((3.0, 2.0)),
+                Point((5.0, 1.0)), Point((4.0, 4.0)), Point((6.0, 6.0))]
+
+    def test_rank_population_assigns_ranks(self):
+        ranked = rank_population(self._population())
+        ranks = [r.rank for r in ranked]
+        assert ranks[:4] == [0, 0, 0, 0]
+        assert ranks[4] == 1 and ranks[5] > 0
+
+    def test_environmental_selection_prefers_first_front(self):
+        population = self._population()
+        survivors = environmental_selection(population, 4)
+        assert len(survivors) == 4
+        assert all(p.objectives != (6.0, 6.0) for p in survivors)
+
+    def test_environmental_selection_truncates_by_crowding(self):
+        population = [Point((float(i), float(10 - i))) for i in range(11)]
+        population.append(Point((5.0, 5.0001)))  # crowded duplicate-ish point
+        survivors = environmental_selection(population, 5)
+        objectives = {p.objectives for p in survivors}
+        # The extreme points always survive truncation.
+        assert (0.0, 10.0) in objectives
+        assert (10.0, 0.0) in objectives
+
+    def test_environmental_selection_invalid_size(self):
+        with pytest.raises(ValueError):
+            environmental_selection(self._population(), 0)
+
+    def test_binary_tournament_prefers_better_rank(self):
+        population = self._population()
+        ranked = rank_population(population)
+        rng = np.random.default_rng(0)
+        winners = [binary_tournament(ranked, rng) for _ in range(100)]
+        dominated_wins = sum(1 for w in winners if w.objectives == (6.0, 6.0))
+        assert dominated_wins < 30
+
+    def test_binary_tournament_empty(self):
+        with pytest.raises(ValueError):
+            binary_tournament([], np.random.default_rng(0))

@@ -1,0 +1,136 @@
+"""Unit tests for variable combos (VC terminals)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.variable_combo import VariableCombo
+
+
+class TestConstruction:
+    def test_paper_example_renders_as_ratio(self):
+        """The paper's example [1, 0, -2, 1] means (x1*x4)/(x3^2)."""
+        vc = VariableCombo((1, 0, -2, 1))
+        text = vc.render(("x1", "x2", "x3", "x4"))
+        assert text == "(x1*x4) / x3^2"
+
+    def test_identity_and_single(self):
+        identity = VariableCombo.identity(3)
+        assert identity.is_constant
+        assert identity.render(("a", "b", "c")) == "1"
+        single = VariableCombo.single(3, 1, exponent=-1)
+        assert single.render(("a", "b", "c")) == "1 / b"
+
+    def test_total_order(self):
+        assert VariableCombo((1, 0, -2, 1)).total_order == 4
+        assert VariableCombo.identity(5).total_order == 0
+
+    def test_used_variables(self):
+        assert VariableCombo((0, 2, 0, -1)).used_variables() == (1, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VariableCombo(())
+
+    def test_single_out_of_range(self):
+        with pytest.raises(IndexError):
+            VariableCombo.single(3, 5)
+
+
+class TestEvaluation:
+    def test_matches_manual_product(self):
+        vc = VariableCombo((1, -2, 1))
+        X = np.array([[2.0, 4.0, 3.0], [1.0, 2.0, 5.0]])
+        expected = X[:, 0] * X[:, 2] / X[:, 1] ** 2
+        np.testing.assert_allclose(vc.evaluate(X), expected)
+
+    def test_constant_combo_evaluates_to_one(self):
+        vc = VariableCombo.identity(2)
+        np.testing.assert_allclose(vc.evaluate(np.ones((4, 2))), np.ones(4))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            VariableCombo((1, 1)).evaluate(np.ones((3, 3)))
+
+    def test_negative_base_with_integer_exponent(self):
+        vc = VariableCombo((2,))
+        np.testing.assert_allclose(vc.evaluate(np.array([[-3.0]])), [9.0])
+
+
+class TestRandomGeneration:
+    def test_never_constant(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            vc = VariableCombo.random(5, rng)
+            assert not vc.is_constant
+
+    def test_respects_max_exponent(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            vc = VariableCombo.random(4, rng, max_exponent=2)
+            assert all(abs(e) <= 2 for e in vc.exponents)
+
+    def test_positive_only_mode(self):
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            vc = VariableCombo.random(4, rng, allow_negative=False)
+            assert all(e >= 0 for e in vc.exponents)
+
+    def test_invalid_arguments(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            VariableCombo.random(0, rng)
+        with pytest.raises(ValueError):
+            VariableCombo.random(3, rng, max_exponent=0)
+
+
+class TestOperators:
+    def test_mutation_changes_one_exponent_by_one(self):
+        rng = np.random.default_rng(3)
+        vc = VariableCombo((1, 0, -1))
+        mutated = vc.mutated(rng)
+        differences = [abs(a - b) for a, b in zip(vc.exponents, mutated.exponents)]
+        assert sum(differences) <= 1
+        assert vc.exponents == (1, 0, -1)  # original untouched
+
+    def test_mutation_respects_bounds(self):
+        rng = np.random.default_rng(4)
+        vc = VariableCombo((4,))
+        for _ in range(50):
+            vc = vc.mutated(rng, max_exponent=4)
+            assert -4 <= vc.exponents[0] <= 4
+
+    def test_mutation_positive_only(self):
+        rng = np.random.default_rng(5)
+        vc = VariableCombo((0, 0))
+        for _ in range(30):
+            vc = vc.mutated(rng, allow_negative=False)
+            assert all(e >= 0 for e in vc.exponents)
+
+    def test_crossover_mixes_exponents(self):
+        rng = np.random.default_rng(6)
+        parent_a = VariableCombo((1, 1, 1, 1))
+        parent_b = VariableCombo((-1, -1, -1, -1))
+        child_a, child_b = parent_a.crossover(parent_b, rng)
+        # Each child position comes from one of the two parents.
+        for child in (child_a, child_b):
+            assert all(e in (-1, 1) for e in child.exponents)
+        # The two children are complementary.
+        assert all(a + b == 0 for a, b in zip(child_a.exponents, child_b.exponents))
+
+    def test_crossover_dimension_mismatch(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            VariableCombo((1,)).crossover(VariableCombo((1, 1)), rng)
+
+    def test_crossover_single_variable_returns_copies(self):
+        rng = np.random.default_rng(0)
+        child_a, child_b = VariableCombo((2,)).crossover(VariableCombo((-1,)), rng)
+        assert child_a.exponents == (2,)
+        assert child_b.exponents == (-1,)
+
+    def test_equality_and_hash(self):
+        assert VariableCombo((1, 2)) == VariableCombo((1, 2))
+        assert hash(VariableCombo((1, 2))) == hash(VariableCombo((1, 2)))
+        assert VariableCombo((1, 2)) != VariableCombo((2, 1))

@@ -1,0 +1,125 @@
+"""Unit tests for weight terminals and their transform/mutation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weights import (
+    Weight,
+    cauchy_mutated_value,
+    format_number,
+    inverse_transform_value,
+    transform_stored_value,
+)
+
+
+class TestTransform:
+    def test_zero_maps_to_zero(self):
+        assert transform_stored_value(0.0) == 0.0
+
+    def test_positive_range_endpoints(self):
+        bound = 10.0
+        assert transform_stored_value(2 * bound, bound) == pytest.approx(1e10)
+        assert transform_stored_value(1e-9, bound) == pytest.approx(1e-10, rel=1e-6)
+
+    def test_negative_range_endpoints(self):
+        bound = 10.0
+        assert transform_stored_value(-2 * bound, bound) == pytest.approx(-1e10)
+        assert transform_stored_value(-1e-9, bound) == pytest.approx(-1e-10, rel=1e-6)
+
+    def test_midpoint_maps_to_one(self):
+        assert transform_stored_value(10.0, 10.0) == pytest.approx(1.0)
+        assert transform_stored_value(-10.0, 10.0) == pytest.approx(-1.0)
+
+    def test_out_of_range_stored_is_clipped(self):
+        assert transform_stored_value(50.0, 10.0) == pytest.approx(1e10)
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            transform_stored_value(1.0, exponent_bound=0.0)
+
+    def test_inverse_round_trip(self):
+        for value in (1e-7, 3.5, -42.0, -1e8):
+            stored = inverse_transform_value(value)
+            assert transform_stored_value(stored) == pytest.approx(value, rel=1e-9)
+
+    def test_inverse_of_zero(self):
+        assert inverse_transform_value(0.0) == 0.0
+
+
+class TestWeight:
+    def test_value_respects_bound(self):
+        weight = Weight(stored=25.0, exponent_bound=10.0)
+        assert weight.stored == pytest.approx(20.0)
+        assert weight.value == pytest.approx(1e10)
+
+    def test_from_value(self):
+        weight = Weight.from_value(186.6)
+        assert weight.value == pytest.approx(186.6, rel=1e-9)
+
+    def test_random_within_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            weight = Weight.random(rng)
+            assert -20.0 <= weight.stored <= 20.0
+            assert weight.value == 0.0 or 1e-10 <= abs(weight.value) <= 1e10
+
+    def test_copy_is_independent(self):
+        weight = Weight(stored=5.0)
+        copy = weight.copy()
+        copy.stored = 1.0
+        assert weight.stored == 5.0
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            Weight(stored=1.0, exponent_bound=-1.0)
+
+
+class TestCauchyMutation:
+    def test_mutation_stays_in_range(self):
+        rng = np.random.default_rng(1)
+        weight = Weight(stored=0.0)
+        for _ in range(200):
+            weight = weight.mutated(rng)
+            assert -20.0 <= weight.stored <= 20.0
+
+    def test_mutation_changes_value_eventually(self):
+        rng = np.random.default_rng(2)
+        weight = Weight(stored=3.0)
+        mutated = [weight.mutated(rng).stored for _ in range(20)]
+        assert any(abs(m - 3.0) > 1e-6 for m in mutated)
+
+    def test_heavy_tail_produces_large_jumps(self):
+        """Cauchy mutation must occasionally make jumps far beyond the scale."""
+        rng = np.random.default_rng(3)
+        jumps = [abs(cauchy_mutated_value(0.0, 1.0, rng)) for _ in range(500)]
+        assert max(jumps) > 5.0
+
+    def test_invalid_scale(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            cauchy_mutated_value(0.0, 0.0, rng)
+
+    def test_original_not_modified(self):
+        rng = np.random.default_rng(4)
+        weight = Weight(stored=2.0)
+        weight.mutated(rng)
+        assert weight.stored == 2.0
+
+
+class TestFormatting:
+    def test_moderate_numbers_plain(self):
+        assert format_number(90.5) == "90.5"
+        assert format_number(0.04) == "0.04"
+
+    def test_extreme_numbers_scientific(self):
+        assert "e" in format_number(2.36e7)
+        assert "e" in format_number(-2.05e-3 / 10)
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_render_matches_format(self):
+        weight = Weight.from_value(190.6)
+        assert weight.render() == format_number(190.6)

@@ -1,0 +1,127 @@
+"""Unit tests for :mod:`repro.data.metrics`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.metrics import (
+    error_normalization,
+    mean_squared_error,
+    normalized_mse,
+    normalized_rmse,
+    q_tc,
+    q_wc,
+    r_squared,
+    relative_rmse,
+)
+
+
+class TestMeanSquaredError:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mean_squared_error(y, y) == 0.0
+
+    def test_known_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, -1.0]) == pytest.approx(1.0)
+
+    def test_nonfinite_prediction_is_inf(self):
+        assert mean_squared_error([1.0, 2.0], [np.nan, 2.0]) == float("inf")
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0, 2.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+
+
+class TestNormalizedMse:
+    def test_constant_model_scores_one(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        prediction = np.full_like(y, y.mean())
+        assert normalized_mse(y, prediction) == pytest.approx(1.0)
+
+    def test_perfect_model_scores_zero(self):
+        y = np.array([1.0, 5.0, -2.0])
+        assert normalized_mse(y, y) == 0.0
+
+    def test_degenerate_target_perfect_fit(self):
+        y = np.full(5, 7.0)
+        assert normalized_mse(y, y) == 0.0
+
+    def test_degenerate_target_bad_fit(self):
+        y = np.full(5, 7.0)
+        assert normalized_mse(y, y + 1.0) == float("inf")
+
+    def test_rmse_is_sqrt_of_mse(self):
+        y = np.array([0.0, 1.0, 2.0, 3.0])
+        prediction = y + 0.5
+        assert normalized_rmse(y, prediction) == pytest.approx(
+            np.sqrt(normalized_mse(y, prediction)))
+
+    def test_r_squared_complements_nmse(self):
+        y = np.array([0.0, 1.0, 2.0, 5.0])
+        prediction = y * 0.9
+        assert r_squared(y, prediction) == pytest.approx(
+            1.0 - normalized_mse(y, prediction))
+
+
+class TestErrorNormalization:
+    def test_range_is_used(self):
+        y = np.array([1.0, 3.0, 5.0])
+        assert error_normalization(y) == pytest.approx(4.0)
+
+    def test_constant_data_falls_back_to_magnitude(self):
+        y = np.full(4, 2.5)
+        assert error_normalization(y) == pytest.approx(2.5)
+
+    def test_all_zero_falls_back_to_one(self):
+        assert error_normalization(np.zeros(3)) == 1.0
+
+
+class TestRelativeRmse:
+    def test_scaling(self):
+        y = np.array([0.0, 2.0])
+        prediction = np.array([1.0, 1.0])
+        # RMS error is 1.0; normalization 4 -> 0.25.
+        assert relative_rmse(y, prediction, 4.0) == pytest.approx(0.25)
+
+    def test_invalid_normalization(self):
+        with pytest.raises(ValueError):
+            relative_rmse([1.0], [1.0], 0.0)
+
+    def test_nonfinite_prediction(self):
+        assert relative_rmse([1.0, 2.0], [np.inf, 2.0], 1.0) == float("inf")
+
+
+class TestPaperQualityMeasures:
+    def test_constant_model_training_error_below_100_percent(self):
+        """A constant model must be able to score well below 100 % (paper:
+        zero-complexity models land at 10-25 % training error)."""
+        rng = np.random.default_rng(0)
+        y = rng.uniform(0.0, 1.0, size=200)
+        constant = np.full_like(y, y.mean())
+        assert 0.0 < q_wc(y, constant) < 0.5
+
+    def test_qtc_uses_training_normalization_when_given(self):
+        y_train = np.array([0.0, 10.0])
+        y_test = np.array([4.0, 6.0])
+        prediction = np.array([5.0, 5.0])
+        assert q_tc(y_test, prediction, normalization=error_normalization(y_train)) \
+            == pytest.approx(np.sqrt(1.0) / 10.0)
+
+    def test_interpolation_gives_lower_test_error(self):
+        """With a fixed (training-range) normalization, a model evaluated on
+        lower-spread interior data scores a lower error -- the paper's
+        'testing error below training error' effect."""
+        rng = np.random.default_rng(1)
+        x_train = rng.uniform(-1.0, 1.0, size=300)
+        x_test = rng.uniform(-0.3, 0.3, size=300)
+        truth = lambda x: 1.0 + 2.0 * x + 0.5 * x ** 2
+        model = lambda x: 1.0 + 2.0 * x  # misses the curvature
+        normalization = error_normalization(truth(x_train))
+        train_error = relative_rmse(truth(x_train), model(x_train), normalization)
+        test_error = relative_rmse(truth(x_test), model(x_test), normalization)
+        assert test_error < train_error

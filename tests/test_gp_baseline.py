@@ -1,0 +1,110 @@
+"""Tests for the unrestricted (plain) GP baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gp import (
+    ConstantNode,
+    FunctionNode,
+    PlainGPSettings,
+    VariableNode,
+    random_tree,
+    run_plain_gp,
+)
+from repro.gp.nodes import GP_FUNCTIONS, iter_tree, replace_node
+
+
+class TestNodes:
+    def test_constant_and_variable_evaluation(self):
+        X = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(ConstantNode(5.0).evaluate(X), [5.0, 5.0])
+        np.testing.assert_allclose(VariableNode(1).evaluate(X), [2.0, 4.0])
+
+    def test_function_node_evaluation_and_render(self):
+        node = FunctionNode("div", [VariableNode(0), ConstantNode(2.0)])
+        X = np.array([[4.0], [8.0]])
+        np.testing.assert_allclose(node.evaluate(X), [2.0, 4.0])
+        assert node.render(("x",)) == "(x / 2)"
+
+    def test_function_arity_checked(self):
+        with pytest.raises(ValueError):
+            FunctionNode("add", [ConstantNode(1.0)])
+        with pytest.raises(KeyError):
+            FunctionNode("bogus", [ConstantNode(1.0), ConstantNode(2.0)])
+
+    def test_size_and_depth(self):
+        node = FunctionNode("add", [VariableNode(0),
+                                    FunctionNode("neg", [ConstantNode(1.0)])])
+        assert node.size == 4
+        assert node.depth == 3
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(IndexError):
+            VariableNode(5).evaluate(np.ones((2, 2)))
+
+    def test_random_tree_depth_limit(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            tree = random_tree(3, max_depth=5, rng=rng)
+            assert tree.depth <= 5
+
+    def test_iter_and_replace(self):
+        rng = np.random.default_rng(1)
+        tree = random_tree(2, max_depth=4, rng=rng, grow=False)
+        nodes = iter_tree(tree)
+        assert nodes[0] is tree
+        replacement = ConstantNode(42.0)
+        new_tree = replace_node(tree, nodes[-1], replacement)
+        assert any(isinstance(n, ConstantNode) and n.value == 42.0
+                   for n in iter_tree(new_tree))
+
+    def test_function_table_contains_basics(self):
+        assert {"add", "sub", "mul", "div"} <= set(GP_FUNCTIONS)
+
+
+class TestPlainGPRun:
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            PlainGPSettings(population_size=2)
+        with pytest.raises(ValueError):
+            PlainGPSettings(p_crossover=1.5)
+        with pytest.raises(ValueError):
+            PlainGPSettings(parsimony=-1.0)
+
+    def test_finds_reasonable_model(self, rational_train, rational_test):
+        settings = PlainGPSettings(population_size=60, n_generations=15,
+                                   random_seed=0)
+        result = run_plain_gp(rational_train, rational_test, settings)
+        assert result.best.train_error < 0.5
+        assert np.isfinite(result.best.test_error)
+        assert result.best.size >= 1
+        assert len(result.front) >= 1
+
+    def test_front_is_nondominated(self, rational_train, rational_test):
+        settings = PlainGPSettings(population_size=40, n_generations=8,
+                                   random_seed=1)
+        result = run_plain_gp(rational_train, rational_test, settings)
+        front = result.front
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                assert not (a.train_error <= b.train_error and a.size <= b.size
+                            and (a.train_error < b.train_error or a.size < b.size))
+
+    def test_prediction_and_expression(self, rational_train):
+        settings = PlainGPSettings(population_size=30, n_generations=5,
+                                   random_seed=2)
+        result = run_plain_gp(rational_train, settings=settings)
+        predictions = result.best.predict(rational_train.X)
+        assert predictions.shape == (rational_train.n_samples,)
+        assert isinstance(result.best.expression(), str)
+
+    def test_reproducible(self, rational_train):
+        settings = PlainGPSettings(population_size=30, n_generations=5,
+                                   random_seed=3)
+        first = run_plain_gp(rational_train, settings=settings)
+        second = run_plain_gp(rational_train, settings=settings)
+        assert first.best.expression() == second.best.expression()

@@ -1,0 +1,130 @@
+"""Tests for the posynomial baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.posynomial import (
+    Monomial,
+    PosynomialTemplate,
+    fit_posynomial,
+    full_quadratic_template,
+    linear_template,
+)
+
+
+def make_positive_dataset(n=100, seed=0, target="perf"):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.8, 1.2, size=(n, 3))
+    y = 2.0 + 1.5 * X[:, 0] + 0.8 * X[:, 1] / X[:, 2]
+    return Dataset(X, y, ("x0", "x1", "x2"), target_name=target)
+
+
+class TestMonomial:
+    def test_evaluation(self):
+        monomial = Monomial((1.0, -2.0, 0.0))
+        X = np.array([[2.0, 2.0, 5.0]])
+        np.testing.assert_allclose(monomial.evaluate(X), [0.5])
+
+    def test_degree_and_render(self):
+        monomial = Monomial((1.0, -2.0, 0.0))
+        assert monomial.degree == 3.0
+        assert monomial.render(("a", "b", "c")) == "a*b^-2"
+        assert Monomial((0.0, 0.0, 0.0)).render(("a", "b", "c")) == "1"
+
+    def test_dimension_check(self):
+        with pytest.raises(ValueError):
+            Monomial((1.0, 2.0)).evaluate(np.ones((3, 3)))
+
+
+class TestTemplates:
+    def test_linear_template_size(self):
+        template = linear_template(5)
+        assert len(template) == 10
+        assert linear_template(5, include_inverse=False).monomials[0].degree == 1.0
+
+    def test_full_quadratic_template_counts(self):
+        template = full_quadratic_template(13)
+        # 4 single-variable terms per variable + products and two ratios per pair.
+        expected = 13 * 4 + 78 * 3
+        assert len(template) == expected
+        without_ratios = full_quadratic_template(13, include_ratios=False)
+        assert len(without_ratios) == 13 * 4 + 78
+
+    def test_feature_matrix_shape(self):
+        template = full_quadratic_template(3)
+        X = np.abs(np.random.default_rng(0).normal(size=(7, 3))) + 0.5
+        features = template.feature_matrix(X)
+        assert features.shape == (7, len(template))
+
+    def test_template_dimension_validation(self):
+        with pytest.raises(ValueError):
+            PosynomialTemplate([Monomial((1.0, 0.0))], n_variables=3)
+        with pytest.raises(ValueError):
+            full_quadratic_template(0)
+
+
+class TestFitting:
+    def test_fit_reaches_low_training_error(self):
+        train = make_positive_dataset(seed=0)
+        test = make_positive_dataset(seed=1)
+        model = fit_posynomial(train, test)
+        assert model.train_error < 0.05
+        assert np.isfinite(model.test_error)
+        assert model.n_terms > 0
+
+    def test_posynomial_variant_nonnegative(self):
+        train = make_positive_dataset(seed=2)
+        model = fit_posynomial(train, signomial=False)
+        assert np.all(model.coefficients >= 0.0)
+        assert not model.signomial
+
+    def test_predictions_match_expression_domain(self):
+        train = make_positive_dataset(seed=3)
+        model = fit_posynomial(train)
+        predictions = model.predict(train.X)
+        assert predictions.shape == (train.n_samples,)
+        transformed = model.predict_transformed(train.X)
+        np.testing.assert_allclose(predictions, transformed)
+
+    def test_log_scaled_target_predicts_in_original_domain(self):
+        train = make_positive_dataset(seed=4).log10_target()
+        model = fit_posynomial(train)
+        assert model.log_scaled_target
+        predictions = model.predict(train.X)
+        assert np.all(predictions > 0.0)
+        assert "10^(" in model.expression()
+
+    def test_rejects_nonpositive_variables(self):
+        X = np.array([[1.0, -1.0], [2.0, 3.0]])
+        bad = Dataset(X, np.array([1.0, 2.0]), ("a", "b"))
+        with pytest.raises(ValueError):
+            fit_posynomial(bad)
+
+    def test_rejects_mismatched_template(self):
+        train = make_positive_dataset()
+        with pytest.raises(ValueError):
+            fit_posynomial(train, template=linear_template(5))
+
+    def test_rejects_mismatched_test_variables(self):
+        train = make_positive_dataset()
+        other = Dataset(train.X, train.y, ("u", "v", "w"))
+        with pytest.raises(ValueError):
+            fit_posynomial(train, test=other)
+
+    def test_expression_limits_terms(self):
+        train = make_positive_dataset(seed=5)
+        model = fit_posynomial(train)
+        short = model.expression(max_terms=2)
+        assert short.count("*") <= 4
+
+
+class TestPaperCriticism:
+    def test_posynomial_has_many_terms_compared_to_caffeine(self, ota_datasets):
+        """The paper's interpretability criticism: posynomial models carry
+        dozens of terms on the OTA problem."""
+        train, test = ota_datasets.for_target("SRp")
+        model = fit_posynomial(train, test)
+        assert model.n_terms >= 10

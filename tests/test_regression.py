@@ -1,0 +1,191 @@
+"""Tests for the linear-regression utilities (LS, PRESS, forward regression, NNLS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.regression import (
+    fit_linear,
+    forward_select,
+    hat_matrix,
+    loo_residuals,
+    nonnegative_least_squares,
+    predict_linear,
+    press_rmse,
+    press_statistic,
+)
+
+
+@pytest.fixture
+def linear_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(80, 3))
+    y = 1.5 + 2.0 * X[:, 0] - 0.5 * X[:, 1] + 0.05 * rng.normal(size=80)
+    return X, y
+
+
+class TestLeastSquares:
+    def test_recovers_coefficients(self, linear_data):
+        X, y = linear_data
+        fit = fit_linear(X, y)
+        assert fit is not None
+        assert fit.intercept == pytest.approx(1.5, abs=0.05)
+        np.testing.assert_allclose(fit.coefficients, [2.0, -0.5, 0.0], atol=0.05)
+
+    def test_intercept_only(self):
+        y = np.array([1.0, 2.0, 3.0])
+        fit = fit_linear(np.zeros((3, 0)), y)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.n_terms == 0
+        np.testing.assert_allclose(fit.predict(np.zeros((5, 0))), np.full(5, 2.0))
+
+    def test_without_intercept(self, linear_data):
+        X, y = linear_data
+        fit = fit_linear(X, y, include_intercept=False)
+        assert fit.intercept == 0.0
+
+    def test_nonfinite_inputs_return_none(self):
+        X = np.array([[1.0], [np.nan]])
+        assert fit_linear(X, np.array([1.0, 2.0])) is None
+
+    def test_collinear_columns_handled(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=50)
+        X = np.column_stack([x, 2.0 * x])  # perfectly collinear
+        y = 3.0 * x + 1.0
+        fit = fit_linear(X, y)
+        assert fit is not None
+        predictions = fit.predict(X)
+        assert np.sqrt(np.mean((predictions - y) ** 2)) < 1e-6
+
+    def test_predict_dimension_check(self, linear_data):
+        X, y = linear_data
+        fit = fit_linear(X, y)
+        with pytest.raises(ValueError):
+            predict_linear(fit, X[:, :2])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            fit_linear(np.ones(3), np.ones(3))
+
+
+class TestPress:
+    def test_hat_matrix_is_projection_like(self, linear_data):
+        X, y = linear_data
+        H = hat_matrix(X)
+        assert H.shape == (80, 80)
+        # Trace equals the number of fitted parameters (intercept + 3).
+        assert np.trace(H) == pytest.approx(4.0, abs=0.01)
+
+    def test_loo_residuals_match_explicit_loo(self):
+        """Closed-form LOO residuals must equal brute-force refitting."""
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(25, 2))
+        y = 1.0 + X[:, 0] - 2.0 * X[:, 1] + 0.1 * rng.normal(size=25)
+        closed_form = loo_residuals(X, y, ridge=0.0)
+        for t in range(25):
+            mask = np.arange(25) != t
+            fit = fit_linear(X[mask], y[mask], ridge=0.0)
+            prediction = fit.predict(X[t:t + 1])[0]
+            assert closed_form[t] == pytest.approx(y[t] - prediction, rel=1e-5,
+                                                   abs=1e-8)
+
+    def test_press_penalizes_overfitting(self):
+        """Adding pure-noise columns must not decrease (and typically
+        increases) the PRESS statistic even though it lowers the residual."""
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(40, 1))
+        y = 2.0 * X[:, 0] + 0.2 * rng.normal(size=40)
+        noise = rng.normal(size=(40, 12))
+        press_true = press_statistic(X, y)
+        press_noisy = press_statistic(np.hstack([X, noise]), y)
+        assert press_noisy > press_true * 0.9
+        residual_true = fit_linear(X, y).residual_sum_of_squares
+        residual_noisy = fit_linear(np.hstack([X, noise]), y).residual_sum_of_squares
+        assert residual_noisy < residual_true
+
+    def test_press_rmse_scale(self, linear_data):
+        X, y = linear_data
+        value = press_rmse(X, y)
+        assert 0.0 < value < 0.2
+
+
+class TestForwardRegression:
+    def test_selects_true_features_before_noise(self):
+        rng = np.random.default_rng(4)
+        n = 60
+        informative = rng.normal(size=(n, 2))
+        noise = rng.normal(size=(n, 5))
+        y = 3.0 * informative[:, 0] - 2.0 * informative[:, 1] \
+            + 0.05 * rng.normal(size=n)
+        candidates = np.hstack([noise, informative])
+        result = forward_select(candidates, y, max_terms=4)
+        assert set(result.selected_indices[:2]) == {5, 6}
+        assert result.final_press < result.baseline_press
+
+    def test_stops_when_no_improvement(self):
+        rng = np.random.default_rng(5)
+        y = rng.normal(size=30)
+        noise = rng.normal(size=(30, 6))
+        result = forward_select(noise, y)
+        assert result.n_selected <= 2
+
+    def test_max_terms_respected(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(50, 8))
+        y = X @ np.arange(1.0, 9.0) + 0.01 * rng.normal(size=50)
+        result = forward_select(X, y, max_terms=3)
+        assert result.n_selected == 3
+
+    def test_candidate_restriction(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(40, 4))
+        y = X[:, 0] + 0.01 * rng.normal(size=40)
+        result = forward_select(X, y, candidate_indices=[1, 2, 3])
+        assert 0 not in result.selected_indices
+
+    def test_invalid_arguments(self):
+        X = np.ones((10, 2))
+        y = np.ones(10)
+        with pytest.raises(ValueError):
+            forward_select(X, y, max_terms=-1)
+        with pytest.raises(IndexError):
+            forward_select(X, y, candidate_indices=[5])
+
+    def test_nonfinite_candidates_skipped(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(30, 2))
+        y = X[:, 0]
+        X = X.copy()
+        X[0, 1] = np.inf
+        result = forward_select(X, y)
+        assert 1 not in result.selected_indices
+
+
+class TestNnls:
+    def test_nonnegative_coefficients(self):
+        rng = np.random.default_rng(9)
+        F = np.abs(rng.normal(size=(50, 4)))
+        y = F @ np.array([1.0, 0.0, 2.0, 0.5])
+        coefficients, intercept = nonnegative_least_squares(F, y)
+        assert np.all(coefficients >= 0.0)
+        assert intercept == 0.0
+        np.testing.assert_allclose(F @ coefficients, y, atol=1e-6)
+
+    def test_free_intercept_variant(self):
+        rng = np.random.default_rng(10)
+        F = np.abs(rng.normal(size=(60, 3)))
+        y = -5.0 + F @ np.array([1.0, 2.0, 0.0])
+        coefficients, intercept = nonnegative_least_squares(F, y,
+                                                            include_intercept=True)
+        assert intercept == pytest.approx(-5.0, abs=0.2)
+        np.testing.assert_allclose(F @ coefficients + intercept, y, atol=0.2)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            nonnegative_least_squares(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            nonnegative_least_squares(np.full((3, 2), np.nan), np.ones(3))
