@@ -1,0 +1,147 @@
+"""Population-evaluation benchmark: cached subsystem vs. naive re-evaluation.
+
+Measures the Figure-3 workload (the PM dataset, population 100) through the
+batch evaluation subsystem of :mod:`repro.core.evaluation` and through the
+naive per-individual path it replaced, on **two** honestly labeled workloads:
+
+* ``offspring`` -- the engine's actual evaluation stream (initial population
+  plus every generation's fresh offspring).  Fresh individuals need fresh
+  linear fits, so here the gains come from the basis-column cache only:
+  offspring share most basis functions with their parents.
+* ``reevaluation`` -- re-evaluating each generation's post-selection
+  population, the shape of simplification passes, test-set sweeps and
+  repeated analysis.  Survivors recur across generations, so the
+  individual-level fit cache dominates and the speedup is large.
+
+Emits machine-readable JSON (``benchmarks/output/bench_evaluation.json``)
+with evaluations/sec, speedups and cache hit rates for both workloads, so
+future PRs can track the performance trajectory of the hot loop.  Both paths
+are verified to produce bit-for-bit identical errors before any number is
+reported.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core.engine import CaffeineEngine
+from repro.core.evaluation import PopulationEvaluator, evaluate_individual_inplace
+from repro.core.settings import CaffeineSettings
+
+from conftest import write_output
+
+#: Regression gates, set below the reference-machine numbers (~3.5x and
+#: ~1.2x respectively) to absorb CI noise while failing loudly if the caches
+#: stop helping.
+MIN_REEVALUATION_SPEEDUP = 2.5
+MIN_OFFSPRING_SPEEDUP = 1.0
+
+#: Figure-3 workload scale: population 100 over the benchmark generation
+#: budget used by the shared harness (see conftest.BENCH_SETTINGS).
+WORKLOAD_SETTINGS = CaffeineSettings(
+    population_size=100,
+    n_generations=30,
+    max_basis_functions=15,
+    random_seed=2005,
+)
+
+
+def _capture_workloads(train):
+    """Run one engine; capture its true evaluation stream and its
+    per-generation populations."""
+    engine = CaffeineEngine(train, settings=WORKLOAD_SETTINGS)
+    offspring_batches = []
+    original = engine.evaluator.evaluate_population
+
+    def capturing(individuals):
+        offspring_batches.append([ind.clone() for ind in individuals])
+        return original(individuals)
+
+    engine.evaluator.evaluate_population = capturing
+    population_batches = []
+    engine.initialize_population()
+    population_batches.append([ind.clone() for ind in engine.population])
+    for generation in range(WORKLOAD_SETTINGS.n_generations):
+        engine.step(generation)
+        population_batches.append([ind.clone() for ind in engine.population])
+    engine.evaluator.evaluate_population = original
+    return engine, offspring_batches, population_batches
+
+
+def _measure(engine, batches):
+    """Time naive vs. cached evaluation of the batches; verify equivalence."""
+    n_evaluations = sum(len(batch) for batch in batches)
+
+    naive = [[ind.clone() for ind in batch] for batch in batches]
+    start = time.perf_counter()
+    for batch in naive:
+        for individual in batch:
+            evaluate_individual_inplace(individual, engine.train.X,
+                                        engine.train.y, WORKLOAD_SETTINGS)
+    naive_seconds = time.perf_counter() - start
+
+    cached = [[ind.clone() for ind in batch] for batch in batches]
+    evaluator = PopulationEvaluator(engine.train.X, engine.train.y,
+                                    WORKLOAD_SETTINGS)
+    start = time.perf_counter()
+    for batch in cached:
+        evaluator.evaluate_population(batch)
+    cached_seconds = time.perf_counter() - start
+
+    # Bit-for-bit equivalence of the two paths, before believing any timing.
+    for naive_batch, cached_batch in zip(naive, cached):
+        for a, b in zip(naive_batch, cached_batch):
+            assert a.error == b.error
+            assert a.complexity == b.complexity
+
+    return {
+        "n_evaluations": n_evaluations,
+        "naive_seconds": round(naive_seconds, 4),
+        "cached_seconds": round(cached_seconds, 4),
+        "naive_evaluations_per_second": round(n_evaluations / naive_seconds, 1),
+        "cached_evaluations_per_second": round(n_evaluations / cached_seconds, 1),
+        "speedup": round(naive_seconds / cached_seconds, 2),
+        "column_cache_hit_rate": round(evaluator.column_hit_rate, 4),
+        "fit_cache_hit_rate": round(evaluator.fit_hit_rate, 4),
+        "column_cache_entries": len(evaluator.cache),
+    }, evaluator
+
+
+def test_population_evaluation_throughput(benchmark, bench_datasets):
+    train, _ = bench_datasets.for_target("PM")
+    engine, offspring_batches, population_batches = _capture_workloads(train)
+
+    offspring_report, _ = _measure(engine, offspring_batches)
+    reevaluation_report, evaluator = _measure(engine, population_batches)
+
+    report = {
+        "workload": "figure3-PM",
+        "population_size": WORKLOAD_SETTINGS.population_size,
+        "n_generations": WORKLOAD_SETTINGS.n_generations,
+        "offspring": offspring_report,
+        "reevaluation": reevaluation_report,
+    }
+    write_output("bench_evaluation.json", json.dumps(report, indent=2))
+
+    assert reevaluation_report["speedup"] >= MIN_REEVALUATION_SPEEDUP, \
+        (f"re-evaluation speedup regressed: "
+         f"{reevaluation_report['speedup']}x < {MIN_REEVALUATION_SPEEDUP}x")
+    assert offspring_report["speedup"] >= MIN_OFFSPRING_SPEEDUP, \
+        (f"offspring-stream speedup regressed: "
+         f"{offspring_report['speedup']}x < {MIN_OFFSPRING_SPEEDUP}x")
+    # Offspring reuse parental basis functions even though their fits are
+    # fresh; survivors recur wholesale.
+    assert offspring_report["column_cache_hit_rate"] > 0.5
+    assert reevaluation_report["fit_cache_hit_rate"] > 0.5
+
+    # ------------------------------------------------------------------
+    # Timed section: one warm-cache population evaluation (the unit of work
+    # the evolutionary loop repeats every generation).
+    # ------------------------------------------------------------------
+    final_batch = population_batches[-1]
+
+    def evaluate_final_population():
+        evaluator.evaluate_population([ind.clone() for ind in final_batch])
+
+    benchmark(evaluate_final_population)

@@ -35,6 +35,7 @@ from repro.core import (
     CaffeineResult,
     CaffeineSettings,
     FunctionSet,
+    PopulationEvaluator,
     SymbolicModel,
     TradeoffSet,
     default_function_set,
@@ -54,6 +55,7 @@ __all__ = [
     "CaffeineSettings",
     "SymbolicModel",
     "TradeoffSet",
+    "PopulationEvaluator",
     "FunctionSet",
     "default_function_set",
     "rational_function_set",

@@ -15,6 +15,11 @@ The public surface of the core package:
 """
 
 from repro.core.complexity import basis_function_complexity, model_complexity, vc_cost
+from repro.core.evaluation import (
+    BasisColumnCache,
+    CacheStats,
+    PopulationEvaluator,
+)
 from repro.core.engine import (
     CaffeineEngine,
     CaffeineResult,
@@ -29,6 +34,7 @@ from repro.core.expression import (
     UnaryOpTerm,
     WeightedSum,
     WeightedTerm,
+    structural_key,
 )
 from repro.core.functions import (
     FunctionSet,
@@ -48,7 +54,11 @@ from repro.core.grammar import (
     parse_grammar,
     validate_expression,
 )
-from repro.core.individual import Individual, evaluate_basis_matrix
+from repro.core.individual import (
+    Individual,
+    evaluate_basis_column,
+    evaluate_basis_matrix,
+)
 from repro.core.model import SymbolicModel, TradeoffSet
 from repro.core.operators import VariationOperators, collect_slots
 from repro.core.settings import CaffeineSettings
@@ -65,7 +75,12 @@ __all__ = [
     "SymbolicModel",
     "TradeoffSet",
     "Individual",
+    "evaluate_basis_column",
     "evaluate_basis_matrix",
+    "PopulationEvaluator",
+    "BasisColumnCache",
+    "CacheStats",
+    "structural_key",
     "ExpressionGenerator",
     "VariationOperators",
     "collect_slots",

@@ -6,6 +6,15 @@ multi-tree individuals under the two objectives (normalized training error,
 complexity), applies simplification-after-generation, and returns a
 :class:`CaffeineResult` holding the trade-off of symbolic models plus
 per-generation statistics.
+
+All fitness evaluation is routed through one
+:class:`~repro.core.evaluation.PopulationEvaluator` bound to the training
+data: identical basis functions (which crossover and cloning produce
+constantly) are evaluated once per run via an LRU column cache, and uncached
+columns can be computed on a thread/process pool
+(``CaffeineSettings.evaluation_backend``).  Cached/uncached and
+serial/parallel evaluation are bit-for-bit identical, so these settings never
+change the evolved models -- only the wall-clock time.
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.evaluation import PopulationEvaluator
 from repro.core.generator import ExpressionGenerator
 from repro.core.individual import Individual
 from repro.core.model import SymbolicModel, TradeoffSet
@@ -68,11 +78,18 @@ class CaffeineResult:
         return len(self.tradeoff)
 
     def best_model(self, by: str = "test") -> SymbolicModel:
-        """Most accurate model by testing (default) or training error."""
-        source = self.tradeoff
-        if by == "test" and len(self.test_tradeoff) > 0:
-            return self.test_tradeoff.most_accurate(by="test")
-        return source.most_accurate(by="train" if by == "train" else "train")
+        """Most accurate model by testing (default) or training error.
+
+        ``by="test"`` falls back to the training-error winner when the run
+        had no testing data (``test_tradeoff`` is empty).
+        """
+        if by == "test":
+            if len(self.test_tradeoff) > 0:
+                return self.test_tradeoff.most_accurate(by="test")
+            return self.tradeoff.most_accurate(by="train")
+        if by == "train":
+            return self.tradeoff.most_accurate(by="train")
+        raise ValueError(f"by must be 'train' or 'test', got {by!r}")
 
 
 class CaffeineEngine:
@@ -89,17 +106,19 @@ class CaffeineEngine:
         self.generator = ExpressionGenerator(self.train.n_variables,
                                              self.settings, rng=self.rng)
         self.operators = VariationOperators(self.generator, self.settings, rng=self.rng)
+        self.evaluator = PopulationEvaluator(self.train.X, self.train.y,
+                                             self.settings)
         self.history: List[GenerationStats] = []
         self.population: List[Individual] = []
 
     # ------------------------------------------------------------------
     def initialize_population(self) -> None:
-        """Create and evaluate the initial random population."""
-        self.population = []
-        for _ in range(self.settings.population_size):
-            individual = Individual(bases=self.generator.random_basis_functions())
-            individual.evaluate(self.train.X, self.train.y, self.settings)
-            self.population.append(individual)
+        """Create and batch-evaluate the initial random population."""
+        self.population = [
+            Individual(bases=self.generator.random_basis_functions())
+            for _ in range(self.settings.population_size)
+        ]
+        self.evaluator.evaluate_population(self.population)
 
     def step(self, generation: int) -> GenerationStats:
         """Run one NSGA-II generation and return its statistics."""
@@ -110,8 +129,10 @@ class CaffeineEngine:
             parent_b = binary_tournament(ranked, self.rng)
             child = self.operators.vary(parent_a, parent_b)  # type: ignore[arg-type]
             child.generation_born = generation
-            child.evaluate(self.train.X, self.train.y, self.settings)
             offspring.append(child)
+        # Variation (RNG-driven) is kept strictly separate from evaluation
+        # (RNG-free), so batching the evaluation preserves the random stream.
+        self.evaluator.evaluate_population(offspring)
         combined = self.population + offspring
         self.population = environmental_selection(combined,
                                                   self.settings.population_size)
@@ -141,20 +162,30 @@ class CaffeineEngine:
         return nondominated_filter(feasible, key=lambda ind: ind.objectives)
 
     def run(self, progress: Optional[ProgressCallback] = None) -> CaffeineResult:
-        """Run the full evolutionary loop plus post-processing."""
-        start_time = time.perf_counter()
-        self.initialize_population()
-        for generation in range(self.settings.n_generations):
-            stats = self.step(generation)
-            if progress is not None:
-                progress(generation, stats)
+        """Run the full evolutionary loop plus post-processing.
 
-        front = self.final_front()
-        if self.settings.simplify_after_generation:
-            front = simplify_population(front, self.train.X, self.train.y,
-                                        self.settings)
-            front = [ind for ind in front if ind.is_feasible]
-            front = nondominated_filter(front, key=lambda ind: ind.objectives)
+        The evaluator's worker pool (if a parallel backend is configured) is
+        released when the run finishes; manual ``initialize_population`` /
+        ``step`` drivers should call ``engine.evaluator.shutdown()``
+        themselves when done.
+        """
+        start_time = time.perf_counter()
+        try:
+            self.initialize_population()
+            for generation in range(self.settings.n_generations):
+                stats = self.step(generation)
+                if progress is not None:
+                    progress(generation, stats)
+
+            front = self.final_front()
+            if self.settings.simplify_after_generation:
+                front = simplify_population(front, self.train.X, self.train.y,
+                                            self.settings,
+                                            evaluator=self.evaluator)
+                front = [ind for ind in front if ind.is_feasible]
+                front = nondominated_filter(front, key=lambda ind: ind.objectives)
+        finally:
+            self.evaluator.shutdown()
 
         models = self._freeze_models(front)
         tradeoff = TradeoffSet(models).train_tradeoff()

@@ -1,0 +1,482 @@
+"""Batch population evaluation with basis-column caching.
+
+CAFFEINE's runtime is dominated by re-evaluating evolved basis-function
+trees on the training matrix: every generation evaluates ``population_size``
+offspring of up to ``max_basis_functions`` trees each, node by node, in pure
+Python.  Crossover and cloning copy subtrees verbatim, so the *same* basis
+function (by structural key, see
+:func:`repro.core.expression.structural_key`) is evaluated over and over on
+the *same* dataset.  This module removes that redundancy:
+
+* :class:`BasisColumnCache` -- an LRU cache mapping a basis function's
+  structural key to its evaluated column on one dataset;
+* :class:`PopulationEvaluator` -- evaluates whole populations: it collects
+  the unique uncached basis functions across all individuals, computes their
+  columns once (serially or on a thread/process pool, selected by
+  ``CaffeineSettings.evaluation_backend``), then assembles each individual's
+  basis matrix from cached columns and runs the linear fits; a second,
+  individual-level LRU (keyed by the ordered tuple of basis keys) short-cuts
+  the fit itself for structurally identical individuals;
+* :func:`evaluate_individual_inplace` -- the one-individual path that
+  ``Individual.evaluate`` wraps for backward compatibility.
+
+Correctness invariant: a cache hit returns the exact array a fresh
+evaluation would produce (both go through
+:func:`repro.core.individual.evaluate_basis_column`, and the structural key
+encodes the exact floating-point recipe), so cached, uncached, serial and
+parallel evaluation are all bit-for-bit identical -- a fixed seed produces
+the same trade-off set regardless of these settings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import warnings
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.complexity import basis_function_complexity, model_complexity
+from repro.core.expression import ProductTerm, structural_key
+from repro.core.individual import (
+    Individual,
+    evaluate_basis_column,
+    evaluate_basis_matrix,
+)
+from repro.core.settings import CaffeineSettings
+from repro.data.metrics import error_normalization, relative_rmse
+from repro.regression.least_squares import fit_linear
+
+__all__ = [
+    "CacheStats",
+    "BasisColumnCache",
+    "PopulationEvaluator",
+    "evaluate_individual_inplace",
+]
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters of a :class:`BasisColumnCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when untouched)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "hit_rate": self.hit_rate}
+
+
+class BasisColumnCache:
+    """LRU cache of evaluated basis-function columns for one dataset.
+
+    Keys are structural keys (:func:`~repro.core.expression.structural_key`)
+    of :class:`~repro.core.expression.ProductTerm` trees; values are the
+    evaluated (and magnitude-clipped) columns.  Stored arrays are treated as
+    immutable -- callers must not write into a returned column.
+
+    ``max_entries == 0`` disables the cache (every lookup misses, nothing is
+    stored), which keeps the calling code branch-free.
+    """
+
+    def __init__(self, max_entries: int = 20000) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        self.max_entries = int(max_entries)
+        self.stats = CacheStats()
+        self._columns: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __contains__(self, key: Tuple) -> bool:
+        """Membership test without touching recency or the hit/miss stats."""
+        return key in self._columns
+
+    def get(self, key: Tuple) -> Optional[np.ndarray]:
+        """The cached column for ``key``, or None (counts a hit/miss)."""
+        column = self._columns.get(key)
+        if column is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._columns.move_to_end(key)
+        return column
+
+    def put(self, key: Tuple, column: np.ndarray) -> None:
+        """Insert a column, evicting least-recently-used entries as needed."""
+        if self.max_entries == 0:
+            return
+        if key in self._columns:
+            self._columns.move_to_end(key)
+            return
+        self._columns[key] = column
+        while len(self._columns) > self.max_entries:
+            self._columns.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._columns.clear()
+
+
+def evaluate_individual_inplace(individual: Individual, X: np.ndarray,
+                                y: np.ndarray, settings: CaffeineSettings,
+                                basis_matrix: Optional[np.ndarray] = None,
+                                normalization: Optional[float] = None,
+                                complexity: Optional[float] = None) -> None:
+    """Fit one individual's linear weights and set both objectives in place.
+
+    This is the single implementation behind ``Individual.evaluate`` and the
+    batch evaluator; ``basis_matrix``/``normalization``/``complexity`` let
+    callers that already hold those (the evaluator, with cached columns and
+    per-basis complexities) skip recomputing them.
+    """
+    y = np.asarray(y, dtype=float)
+    individual.complexity = (complexity if complexity is not None
+                             else model_complexity(individual.bases, settings))
+    individual.normalization = (normalization if normalization is not None
+                                else error_normalization(y))
+    if basis_matrix is None:
+        basis_matrix = evaluate_basis_matrix(individual.bases, X)
+    fit = fit_linear(basis_matrix, y)
+    if fit is None:
+        individual.fit = None
+        individual.error = float("inf")
+        return
+    individual.fit = fit
+    predictions = fit.predict(basis_matrix)
+    individual.error = relative_rmse(y, predictions, individual.normalization)
+
+
+#: per-process copy of the sample matrix, installed once per worker by
+#: :func:`_init_worker` so tasks ship only the basis trees, not X
+_WORKER_X: Optional[np.ndarray] = None
+
+
+def _init_worker(X: np.ndarray) -> None:
+    global _WORKER_X
+    _WORKER_X = X
+
+
+def _column_task(basis: ProductTerm) -> np.ndarray:
+    """Picklable worker: evaluate one basis function on the installed matrix."""
+    return evaluate_basis_column(basis, _WORKER_X)
+
+
+class PopulationEvaluator:
+    """Evaluates populations of individuals against one fixed dataset.
+
+    One evaluator is bound to one ``(X, y)`` pair (the engine holds one for
+    its training data), so cache keys need no dataset component and the error
+    normalization (the training-data range, the paper's qwc denominator) is
+    computed once.
+
+    The parallel backends only parallelize the *uncached column*
+    computations; cache bookkeeping, matrix assembly and the linear fits stay
+    on the calling thread in deterministic population order, which is how
+    results remain independent of scheduling.
+    """
+
+    def __init__(self, X: np.ndarray, y: np.ndarray,
+                 settings: Optional[CaffeineSettings] = None,
+                 cache: Optional[BasisColumnCache] = None) -> None:
+        self.X = np.asarray(X, dtype=float)
+        self.y = np.asarray(y, dtype=float)
+        if self.X.ndim != 2:
+            raise ValueError("X must be 2-D (n_samples, n_variables)")
+        if self.X.shape[0] != self.y.shape[0]:
+            raise ValueError("X and y disagree on the number of samples")
+        self.settings = settings if settings is not None else CaffeineSettings()
+        self.cache = cache if cache is not None \
+            else BasisColumnCache(self.settings.basis_cache_size)
+        self.normalization = error_normalization(self.y)
+        self._backend = self.settings.evaluation_backend
+        #: total number of individual evaluations performed (for benchmarks)
+        self.n_evaluated = 0
+        #: column-level accounting: how many basis-column lookups were made
+        #: and how many had to be computed (the gap is the cache's work saved)
+        self.n_column_requests = 0
+        self.n_columns_computed = 0
+        #: fit-level accounting: a whole individual whose exact sequence of
+        #: basis keys was fitted before reuses that fit, error and complexity
+        self.n_fit_requests = 0
+        self.n_fits_computed = 0
+        self._fit_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        #: keys prefilled by the current batch; their first assembly lookup is
+        #: accounted as a computation, not a cache hit (see _column_for)
+        self._fresh_keys: set = set()
+        #: batch-local overlay of prefilled columns, consulted before the LRU
+        #: so that a cache smaller than one batch (or a disabled cache) never
+        #: forces recomputation within the batch that just computed a column
+        self._batch_columns: Dict[Tuple, np.ndarray] = {}
+        #: per-basis complexity by structural key (complexity is additive
+        #: over bases and fully determined by the key + settings, so the sum
+        #: over cached terms is bit-identical to model_complexity)
+        self._complexity_cache: Dict[Tuple, float] = {}
+        self._executor = None
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    @property
+    def column_hit_rate(self) -> float:
+        """Fraction of basis-column lookups served without re-evaluation."""
+        if self.n_column_requests == 0:
+            return 0.0
+        return 1.0 - self.n_columns_computed / self.n_column_requests
+
+    @property
+    def fit_hit_rate(self) -> float:
+        """Fraction of individual evaluations served entirely from cache."""
+        if self.n_fit_requests == 0:
+            return 0.0
+        return 1.0 - self.n_fits_computed / self.n_fit_requests
+
+    def basis_column(self, basis: ProductTerm) -> np.ndarray:
+        """The (cached) evaluated column of one basis function."""
+        return self._column_for(structural_key(basis), basis)
+
+    def basis_matrix(self, bases: Sequence[ProductTerm]) -> np.ndarray:
+        """Assemble an ``(n_samples, n_bases)`` matrix from cached columns."""
+        return self._matrix_from_keys([structural_key(b) for b in bases], bases)
+
+    # ------------------------------------------------------------------
+    def evaluate_individual(self, individual: Individual) -> Individual:
+        """Evaluate one individual through the caches (in place)."""
+        basis_keys = [structural_key(b) for b in individual.bases]
+        return self._evaluate_with_keys(individual, basis_keys)
+
+    def evaluate_population(self, individuals: Sequence[Individual]
+                            ) -> Sequence[Individual]:
+        """Evaluate a whole population (in place), batching uncached columns.
+
+        Individuals whose exact basis sequence was fitted before are served
+        from the fit cache.  For the rest, the unique uncached basis columns
+        are computed once -- in parallel when a thread/process backend is
+        configured -- then each matrix is assembled from the cache and fitted
+        in population order (deterministic regardless of backend).
+
+        Structural keys are computed exactly once per basis per call and
+        threaded through every stage; hashing the trees is otherwise the
+        single largest cost of a fully cached evaluation.
+
+        With ``basis_cache_size=0`` nothing persists across calls, but the
+        unique columns of *this* batch are still computed once (and through
+        the configured parallel backend) via a batch-local overlay.
+        """
+        keyed = [(individual, [structural_key(b) for b in individual.bases])
+                 for individual in individuals]
+        if self.cache.max_entries > 0:
+            pending = [(individual, keys) for individual, keys in keyed
+                       if tuple(keys) not in self._fit_cache]
+        else:
+            pending = keyed
+        try:
+            self._prefill_columns(pending)
+            for individual, keys in keyed:
+                self._evaluate_with_keys(individual, keys)
+        finally:
+            # Clear even on a mid-batch exception: leftover fresh keys would
+            # corrupt the hit-rate accounting of the next batch, and leftover
+            # overlay columns would outlive the 'nothing persists across
+            # calls' guarantee of a disabled cache.
+            self._fresh_keys.clear()
+            self._batch_columns.clear()
+        return individuals
+
+    # ------------------------------------------------------------------
+    def _column_for(self, key: Tuple, basis: ProductTerm) -> np.ndarray:
+        self.n_column_requests += 1
+        column = self._batch_columns.get(key)
+        if column is not None:
+            if key in self._fresh_keys:
+                # First assembly lookup of a column the batch prefill just
+                # computed: real work happened this batch, so it counts as a
+                # computation, not as cache reuse.
+                self._fresh_keys.discard(key)
+                self.n_columns_computed += 1
+            return column
+        column = self.cache.get(key)
+        if column is None:
+            column = evaluate_basis_column(basis, self.X)
+            self.n_columns_computed += 1
+            self.cache.put(key, column)
+        return column
+
+    def _matrix_from_keys(self, keys: List[Tuple],
+                          bases: Sequence[ProductTerm]) -> np.ndarray:
+        if not bases:
+            return np.zeros((self.X.shape[0], 0))
+        return np.column_stack([self._column_for(key, basis)
+                                for key, basis in zip(keys, bases)])
+
+    def _complexity_from_keys(self, keys: List[Tuple],
+                              bases: Sequence[ProductTerm]) -> float:
+        """Model complexity from per-basis cached terms (order-preserving sum,
+        so bit-identical to :func:`~repro.core.complexity.model_complexity`)."""
+        total = []
+        for key, basis in zip(keys, bases):
+            term = self._complexity_cache.get(key)
+            if term is None:
+                term = basis_function_complexity(
+                    basis, self.settings.basis_function_cost,
+                    self.settings.vc_exponent_cost)
+                if self.cache.max_entries > 0:
+                    if len(self._complexity_cache) >= self.cache.max_entries:
+                        self._complexity_cache.clear()
+                    self._complexity_cache[key] = term
+            total.append(term)
+        return float(sum(total))
+
+    def _evaluate_with_keys(self, individual: Individual,
+                            basis_keys: List[Tuple]) -> Individual:
+        # Column order determines which coefficient belongs to which basis,
+        # so the individual-level key is the ordered tuple of basis keys.
+        fit_key = tuple(basis_keys) if self.cache.max_entries > 0 else None
+        self.n_evaluated += 1
+        self.n_fit_requests += 1
+        if fit_key is not None:
+            cached = self._fit_cache.get(fit_key)
+            if cached is not None:
+                self._fit_cache.move_to_end(fit_key)
+                fit, error, complexity = cached
+                # LinearFit is frozen and treated as immutable, so sharing
+                # one instance across structurally identical individuals is
+                # safe -- exactly what SymbolicModel.from_individual already
+                # does between an individual and its frozen model.
+                individual.fit = fit
+                individual.error = error
+                individual.complexity = complexity
+                individual.normalization = self.normalization
+                return individual
+        self.n_fits_computed += 1
+        evaluate_individual_inplace(
+            individual, self.X, self.y, self.settings,
+            basis_matrix=self._matrix_from_keys(basis_keys, individual.bases),
+            normalization=self.normalization,
+            complexity=self._complexity_from_keys(basis_keys, individual.bases),
+        )
+        if fit_key is not None:
+            self._fit_cache[fit_key] = (individual.fit, individual.error,
+                                        individual.complexity)
+            while len(self._fit_cache) > self.cache.max_entries:
+                self._fit_cache.popitem(last=False)
+        return individual
+
+    # ------------------------------------------------------------------
+    def _prefill_columns(self, keyed: Sequence[Tuple[Individual, List[Tuple]]]
+                         ) -> None:
+        """Compute every column the given individuals will need, once.
+
+        Results land in the batch-local overlay (always) and the LRU (when
+        enabled), so assembly never recomputes a column this batch produced --
+        even when the LRU is smaller than the batch or disabled entirely.
+        """
+        missing: "OrderedDict[Tuple, ProductTerm]" = OrderedDict()
+        for individual, keys in keyed:
+            for key, basis in zip(keys, individual.bases):
+                if key not in missing and key not in self._batch_columns \
+                        and key not in self.cache:
+                    missing[key] = basis
+        if not missing:
+            return
+        keys = list(missing.keys())
+        bases = list(missing.values())
+        columns = self._compute_columns(bases)
+        # No counter bumps here: the assembly pass accounts each of these
+        # keys as a computation on its first lookup (via _fresh_keys), so a
+        # basis occurrence is counted exactly once per evaluation.
+        self._fresh_keys.update(keys)
+        for key, column in zip(keys, columns):
+            self._batch_columns[key] = column
+            self.cache.put(key, column)
+
+    def _compute_columns(self, bases: List[ProductTerm]) -> List[np.ndarray]:
+        if self._backend == "serial" or len(bases) < 2:
+            return [evaluate_basis_column(basis, self.X) for basis in bases]
+        if self._backend == "process":
+            # map() preserves input order, so results line up with `bases`
+            # regardless of completion order.  Pickling failures (the default
+            # function set stores lambdas, which cannot cross a process
+            # boundary) degrade permanently to the thread backend; a genuine
+            # worker-side error of the same exception type is disambiguated
+            # by probing picklability directly and re-raised unmasked.
+            try:
+                return list(self._get_executor().map(_column_task, bases))
+            except (pickle.PicklingError, TypeError, AttributeError):
+                try:
+                    for basis in bases:
+                        pickle.dumps(basis)
+                    trees_picklable = True
+                except Exception:
+                    trees_picklable = False
+                if trees_picklable:
+                    raise
+                warnings.warn(
+                    "evaluation_backend='process' requires picklable "
+                    "expression trees (the default function set uses "
+                    "lambdas); falling back to the thread backend",
+                    RuntimeWarning, stacklevel=4)
+                self._shutdown_executor()
+                self._backend = "thread"
+        # Threads share self.X directly -- nothing is serialized.
+        return list(self._get_executor().map(
+            lambda basis: evaluate_basis_column(basis, self.X), bases))
+
+    def _get_executor(self):
+        """The evaluator's long-lived worker pool (created lazily once).
+
+        Pool startup costs milliseconds; an engine calls _compute_columns
+        every generation, so the pool is reused across batches and torn down
+        only by :meth:`shutdown` (or interpreter exit).
+        """
+        if self._executor is None:
+            import concurrent.futures
+
+            workers = self.settings.evaluation_workers
+            if workers == 0:
+                import os
+                workers = os.cpu_count() or 1
+            workers = max(1, workers)
+            if self._backend == "process":
+                # X is shipped once per worker via the initializer; tasks
+                # then carry only the basis trees.
+                self._executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers, initializer=_init_worker,
+                    initargs=(self.X,))
+            else:
+                self._executor = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=workers)
+        return self._executor
+
+    def _shutdown_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def shutdown(self) -> None:
+        """Release the worker pool (idempotent; pools also die with the
+        interpreter, so calling this is optional for short-lived scripts).
+        The evaluator remains usable afterwards -- a pool is recreated
+        lazily on the next parallel batch."""
+        self._shutdown_executor()
+
+    def __enter__(self) -> "PopulationEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

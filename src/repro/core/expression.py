@@ -48,6 +48,7 @@ __all__ = [
     "iter_nodes",
     "iter_weights",
     "iter_variable_combos",
+    "structural_key",
 ]
 
 
@@ -359,6 +360,50 @@ class ProductTerm(ExpressionNode):
         if not parts:
             return "1"
         return " * ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# structural hashing
+# ----------------------------------------------------------------------
+def structural_key(node: Union[ExpressionNode, Weight, VariableCombo,
+                               WeightedTerm]) -> Tuple:
+    """Canonical hashable key of a subtree's exact structure and parameters.
+
+    Two subtrees have equal keys if and only if they evaluate identically on
+    every input *by the same sequence of floating-point operations*: operator
+    names, argument order, stored weight values and variable-combo exponents
+    are all part of the key, and no algebraic normalization (e.g. reordering
+    commutative products) is applied.  That strictness is what lets the
+    evaluation cache (:mod:`repro.core.evaluation`) substitute a cached
+    column for a fresh evaluation bit-for-bit.
+
+    Crossover and cloning copy subtrees verbatim, so identical keys are
+    common across an evolving population even without normalization.
+
+    Operators are identified by name; keys are only meaningful within one
+    function set (which holds for any single CAFFEINE run).
+    """
+    if isinstance(node, Weight):
+        return ("w", node.stored, node.exponent_bound)
+    if isinstance(node, VariableCombo):
+        return ("vc", node.exponents)
+    if isinstance(node, WeightedTerm):
+        return ("wt", structural_key(node.weight), structural_key(node.term))
+    if isinstance(node, ProductTerm):
+        vc_key = structural_key(node.vc) if node.vc is not None else None
+        return ("pt", vc_key, tuple(structural_key(op) for op in node.ops))
+    if isinstance(node, WeightedSum):
+        return ("ws", structural_key(node.offset),
+                tuple(structural_key(t) for t in node.terms))
+    if isinstance(node, UnaryOpTerm):
+        return ("op1", node.op.name, structural_key(node.argument))
+    if isinstance(node, BinaryOpTerm):
+        return ("op2", node.op.name, structural_key(node.left),
+                structural_key(node.right))
+    if isinstance(node, ConditionalOpTerm):
+        return ("lte", structural_key(node.test), structural_key(node.threshold),
+                structural_key(node.if_true), structural_key(node.if_false))
+    raise TypeError(f"cannot compute a structural key for {type(node).__name__}")
 
 
 # ----------------------------------------------------------------------

@@ -4,7 +4,10 @@
 functions; therefore, each individual is a set of GP trees."  An
 :class:`Individual` holds those trees; fitting the outer linear weights
 (intercept plus one coefficient per basis function) to the training data and
-computing the two objectives (error, complexity) happens here.
+computing the two objectives (error, complexity) is delegated to
+:mod:`repro.core.evaluation`, which caches basis columns by structural key
+and can batch-evaluate whole populations (``Individual.evaluate`` remains as
+the one-individual compatibility entry point).
 """
 
 from __future__ import annotations
@@ -14,16 +17,29 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.complexity import model_complexity
 from repro.core.expression import ProductTerm
 from repro.core.settings import CaffeineSettings
-from repro.data.metrics import error_normalization, relative_rmse
-from repro.regression.least_squares import LinearFit, fit_linear
+from repro.regression.least_squares import LinearFit
 
-__all__ = ["Individual", "evaluate_basis_matrix"]
+__all__ = ["Individual", "evaluate_basis_column", "evaluate_basis_matrix"]
 
 #: Values beyond this magnitude are treated as numerical blow-ups.
 _MAGNITUDE_LIMIT = 1e30
+
+
+def evaluate_basis_column(basis: ProductTerm, X: np.ndarray) -> np.ndarray:
+    """Evaluate one basis function on the sample matrix ``X``.
+
+    Returns a vector of length ``n_samples``.  Absurd magnitudes are mapped to
+    NaN; the linear-fit layer rejects such columns, which marks the owning
+    individual as infeasible.  This is the single source of truth for basis
+    evaluation: both the straight-through matrix assembly below and the
+    column cache in :mod:`repro.core.evaluation` call it, which is what makes
+    cached and uncached evaluation bit-for-bit identical.
+    """
+    with np.errstate(all="ignore"):
+        values = np.asarray(basis.evaluate(X), dtype=float)
+        return np.where(np.abs(values) > _MAGNITUDE_LIMIT, np.nan, values)
 
 
 def evaluate_basis_matrix(bases: Sequence[ProductTerm], X: np.ndarray) -> np.ndarray:
@@ -38,13 +54,7 @@ def evaluate_basis_matrix(bases: Sequence[ProductTerm], X: np.ndarray) -> np.nda
         raise ValueError("X must be 2-D")
     if not bases:
         return np.zeros((X.shape[0], 0))
-    columns = []
-    with np.errstate(all="ignore"):
-        for basis in bases:
-            values = np.asarray(basis.evaluate(X), dtype=float)
-            values = np.where(np.abs(values) > _MAGNITUDE_LIMIT, np.nan, values)
-            columns.append(values)
-    return np.column_stack(columns)
+    return np.column_stack([evaluate_basis_column(basis, X) for basis in bases])
 
 
 @dataclasses.dataclass
@@ -94,18 +104,15 @@ class Individual:
 
         The error objective is the paper's ``qwc``: RMS training error
         divided by the training-data range (see :mod:`repro.data.metrics`).
+
+        This is a thin compatibility wrapper: the actual work lives in
+        :mod:`repro.core.evaluation`, which the engine drives in batch (with
+        basis-column caching and optional parallelism) via
+        :class:`~repro.core.evaluation.PopulationEvaluator`.
         """
-        self.complexity = model_complexity(self.bases, settings)
-        self.normalization = error_normalization(np.asarray(y, dtype=float))
-        basis_matrix = evaluate_basis_matrix(self.bases, X)
-        fit = fit_linear(basis_matrix, y)
-        if fit is None:
-            self.fit = None
-            self.error = float("inf")
-            return
-        self.fit = fit
-        predictions = fit.predict(basis_matrix)
-        self.error = relative_rmse(y, predictions, self.normalization)
+        from repro.core.evaluation import evaluate_individual_inplace
+
+        evaluate_individual_inplace(self, X, y, settings)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predictions of the fitted model on new samples."""

@@ -18,7 +18,7 @@ import numpy as np
 from repro.core.expression import ProductTerm
 from repro.core.individual import Individual, evaluate_basis_matrix
 from repro.core.pareto import nondominated_filter
-from repro.data.metrics import relative_rmse
+from repro.data.metrics import q_tc
 from repro.regression.least_squares import LinearFit
 
 __all__ = ["SymbolicModel", "TradeoffSet"]
@@ -59,8 +59,11 @@ class SymbolicModel:
         test_error = float("nan")
         if X_test is not None and y_test is not None:
             predictions = individual.predict(np.asarray(X_test, dtype=float))
-            test_error = relative_rmse(np.asarray(y_test, dtype=float), predictions,
-                                       individual.normalization)
+            # The paper's qtc: the testing error is normalized by the
+            # *training*-data range (individual.normalization), the same
+            # reference as the training error, never the testing range.
+            test_error = q_tc(np.asarray(y_test, dtype=float), predictions,
+                              individual.normalization)
         return cls(
             target_name=target_name,
             variable_names=tuple(variable_names),
@@ -211,7 +214,10 @@ class TradeoffSet:
         """Models nondominated in (testing error, complexity).
 
         This is the paper's final filtering step (rightmost column of
-        Figure 3); models without testing error are dropped.
+        Figure 3); models without testing error are dropped.  Every
+        ``test_error`` here is the paper's qtc -- normalized by the
+        *training*-data range (see :meth:`SymbolicModel.from_individual`), so
+        filtering compares like with like.
         """
         with_test = [m for m in self._models if np.isfinite(m.test_error)]
         return TradeoffSet(nondominated_filter(

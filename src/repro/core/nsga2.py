@@ -87,10 +87,23 @@ def environmental_selection(population: Sequence[T], target_size: int
 
 def binary_tournament(ranked: Sequence[RankedIndividual],
                       rng: np.random.Generator) -> HasObjectives:
-    """Pick the better of two random individuals by the crowded comparison."""
+    """Pick the better of two *distinct* random individuals.
+
+    Deb's NSGA-II tournament compares two different population members; an
+    individual competing against itself would be a selection-pressure-free
+    pick.  With at least two members the second index is drawn from the
+    remaining ``n - 1`` positions, so self-competition cannot occur.
+    """
     if not ranked:
         raise ValueError("cannot run a tournament on an empty population")
-    first = ranked[int(rng.integers(len(ranked)))]
-    second = ranked[int(rng.integers(len(ranked)))]
+    n = len(ranked)
+    first_index = int(rng.integers(n))
+    if n == 1:
+        return ranked[first_index].individual
+    second_index = int(rng.integers(n - 1))
+    if second_index >= first_index:
+        second_index += 1
+    first = ranked[first_index]
+    second = ranked[second_index]
     winner = first if first.beats(second) else second
     return winner.individual

@@ -10,6 +10,13 @@ more likely, and complexity-measure constants ``wb = 10`` and ``wvc = 0.25``.
 Two constructors are provided: :meth:`CaffeineSettings.paper_settings` with
 the full budgets of the paper (hours of runtime) and the default constructor
 with reduced budgets suitable for laptops and for the benchmark harness.
+
+Beyond the paper's tunables, the ``evaluation_*`` / ``basis_cache_size``
+fields configure the population-evaluation subsystem
+(:mod:`repro.core.evaluation`): how many evaluated basis columns the LRU
+cache retains and whether uncached columns are computed serially or on a
+thread/process pool.  These knobs trade memory and cores for wall-clock time
+only -- every backend and cache size produces bit-for-bit identical models.
 """
 
 from __future__ import annotations
@@ -81,6 +88,26 @@ class CaffeineSettings:
     #: minimum relative PRESS improvement a basis function must bring to survive
     sag_min_relative_improvement: float = 1e-4
 
+    # -- evaluation subsystem --------------------------------------------------------
+    #: backend of :class:`~repro.core.evaluation.PopulationEvaluator` used to
+    #: compute uncached basis columns: ``"serial"`` (default), ``"thread"``
+    #: (a :class:`~concurrent.futures.ThreadPoolExecutor`; NumPy releases the
+    #: GIL in the heavy kernels) or ``"process"`` (falls back to threads with
+    #: a warning when the expression trees are not picklable, e.g. with the
+    #: default lambda-based function set).  All backends produce bit-for-bit
+    #: identical results; only wall-clock time differs.
+    evaluation_backend: str = "serial"
+    #: worker count for the parallel evaluation backends (0 = os.cpu_count())
+    evaluation_workers: int = 0
+    #: maximum number of entries retained by *each* of the two LRU evaluation
+    #: caches: the basis-column cache (one entry = one evaluated basis
+    #: function on one dataset) and the individual-level fit cache (one entry
+    #: = one fitted basis sequence).  0 disables both caches entirely -- i.e.
+    #: it turns off fit-result reuse as well, not just column memory.  Even
+    #: then, one batch evaluation still computes its duplicate columns only
+    #: once (batch-local sharing) and still uses the parallel backend.
+    basis_cache_size: int = 20000
+
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
         self.validate()
@@ -118,6 +145,13 @@ class CaffeineSettings:
             raise ValueError("complexity constants must be non-negative")
         if self.sag_min_relative_improvement < 0:
             raise ValueError("sag_min_relative_improvement must be non-negative")
+        if self.evaluation_backend not in ("serial", "thread", "process"):
+            raise ValueError(
+                "evaluation_backend must be 'serial', 'thread' or 'process'")
+        if self.evaluation_workers < 0:
+            raise ValueError("evaluation_workers must be non-negative")
+        if self.basis_cache_size < 0:
+            raise ValueError("basis_cache_size must be non-negative")
 
     # ------------------------------------------------------------------
     @classmethod

@@ -51,6 +51,11 @@ def inverse_transform_value(value: float,
         return 0.0
     magnitude = min(max(abs(value), 10.0 ** (-bound)), 10.0 ** bound)
     stored = math.log10(magnitude) + bound
+    if stored == 0.0:
+        # The smallest representable magnitude (1e-B) lands exactly on the
+        # stored value 0.0, which the transform reserves for the value 0;
+        # nudge it into the positive branch so the round trip stays exact.
+        stored = math.nextafter(0.0, 1.0)
     return stored if value > 0 else -stored
 
 

@@ -25,8 +25,6 @@ the paper's tables.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 __all__ = [
@@ -129,14 +127,17 @@ def q_wc(y_train: np.ndarray, y_train_pred: np.ndarray) -> float:
 
 
 def q_tc(y_test: np.ndarray, y_test_pred: np.ndarray,
-         normalization: Optional[float] = None) -> float:
-    """Testing-error quality measure ``qtc``.
+         normalization: float) -> float:
+    """Testing-error quality measure ``qtc``: RMS testing error / *training* range.
 
-    ``normalization`` should be the training-data range (the same reference
-    used for ``qwc``); when omitted, the testing data's own range is used.
+    The paper normalizes the testing error by the same reference as the
+    training error -- the training-data range -- so training and testing
+    percentages are directly comparable.  ``normalization`` is therefore
+    required and must be ``error_normalization(y_train)``; defaulting to the
+    testing data's own range here was a bug (it silently rescaled qtc
+    whenever the test samples spanned a different range than the training
+    samples).
     """
-    if normalization is None:
-        normalization = error_normalization(y_test)
     return relative_rmse(y_test, y_test_pred, normalization)
 
 

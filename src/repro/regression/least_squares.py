@@ -124,7 +124,13 @@ def fit_linear(basis_matrix: np.ndarray, y: np.ndarray,
 
     predictions = basis_matrix @ coefficients + intercept
     residuals = y - predictions
-    rank = int(np.linalg.matrix_rank(design))
+    # rank(A) == rank(A^T A); the gram matrix is (n_bases+1)^2 and already in
+    # hand, so its SVD costs microseconds where the full design's SVD was the
+    # single most expensive step of every fit.  Squaring the singular values
+    # makes this estimate *less* tolerant: designs with condition number
+    # beyond ~1/sqrt(eps) report rank-deficiency earlier than the full
+    # design's SVD would.  The field is informational metadata only.
+    rank = int(np.linalg.matrix_rank(gram))
     return LinearFit(intercept=intercept,
                      coefficients=np.asarray(coefficients, dtype=float),
                      residual_sum_of_squares=float(residuals @ residuals),

@@ -91,6 +91,56 @@ class TestEngineRun:
         assert calls == [0, 1, 2]
 
 
+class TestBestModelSelection:
+    """Regression tests for the ``best_model`` by= dispatch (it used to return
+    the training-error winner for *every* value of ``by``)."""
+
+    @pytest.fixture(scope="class")
+    def result(self, rational_train, rational_test, fast_settings):
+        return run_caffeine(rational_train, rational_test, fast_settings)
+
+    def test_by_test_uses_test_tradeoff(self, result):
+        assert len(result.test_tradeoff) > 0
+        best = result.best_model(by="test")
+        assert best.expression() == \
+            result.test_tradeoff.most_accurate(by="test").expression()
+
+    def test_by_train_uses_train_tradeoff(self, result):
+        best = result.best_model(by="train")
+        assert best.expression() == \
+            result.tradeoff.most_accurate(by="train").expression()
+
+    def test_by_test_falls_back_without_test_data(self, rational_train,
+                                                  fast_settings):
+        no_test = run_caffeine(rational_train, settings=fast_settings)
+        assert len(no_test.test_tradeoff) == 0
+        best = no_test.best_model(by="test")
+        assert best.expression() == \
+            no_test.tradeoff.most_accurate(by="train").expression()
+
+    def test_unknown_by_raises(self, result):
+        with pytest.raises(ValueError):
+            result.best_model(by="validation")
+
+
+class TestEngineEdgeCases:
+    def test_collect_stats_all_infeasible(self, rational_train, fast_settings):
+        """Statistics stay well-defined when no individual is feasible."""
+        engine = CaffeineEngine(rational_train, settings=fast_settings)
+        infeasible = Individual(bases=[ProductTerm(vc=VariableCombo((1, 0, 0)))])
+        infeasible.error = float("inf")
+        infeasible.fit = None
+        infeasible.complexity = 10.0
+        engine.population = [infeasible]
+        stats = engine._collect_stats(0)
+        assert stats.n_feasible == 0
+        assert stats.front_size == 0
+        assert stats.best_error == float("inf")
+        assert stats.median_error == float("inf")
+        assert stats.best_complexity == float("inf")
+        assert engine.final_front() == []
+
+
 class TestSimplification:
     def test_redundant_bases_are_pruned(self, rational_train, fast_settings):
         ratio = ProductTerm(vc=VariableCombo((1, -1, 0)))

@@ -1,0 +1,351 @@
+"""Tests for the batch population-evaluation subsystem and structural keys."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run_caffeine
+from repro.core.evaluation import (
+    BasisColumnCache,
+    PopulationEvaluator,
+    evaluate_individual_inplace,
+)
+from repro.core.expression import ProductTerm, UnaryOpTerm, WeightedSum, structural_key
+from repro.core.functions import UNARY_OPERATORS
+from repro.core.generator import ExpressionGenerator
+from repro.core.individual import Individual
+from repro.core.settings import CaffeineSettings
+from repro.core.variable_combo import VariableCombo
+from repro.core.weights import Weight
+
+
+@pytest.fixture()
+def generator(fast_settings):
+    return ExpressionGenerator(3, fast_settings, rng=np.random.default_rng(11))
+
+
+def _random_population(generator, n: int):
+    return [Individual(bases=generator.random_basis_functions())
+            for _ in range(n)]
+
+
+class TestStructuralKey:
+    def test_clone_has_equal_key(self, generator):
+        for basis in generator.random_basis_functions(4):
+            assert structural_key(basis) == structural_key(basis.clone())
+
+    def test_key_is_hashable(self, generator):
+        keys = {structural_key(b) for b in generator.random_basis_functions(4)}
+        assert len(keys) >= 1
+
+    def test_different_exponents_differ(self):
+        a = ProductTerm(vc=VariableCombo((1, 0, -2)))
+        b = ProductTerm(vc=VariableCombo((1, 0, 2)))
+        assert structural_key(a) != structural_key(b)
+
+    def test_different_weights_differ(self):
+        def make(stored):
+            argument = WeightedSum(offset=Weight(stored=stored))
+            return ProductTerm(ops=[UnaryOpTerm(op=UNARY_OPERATORS["abs"],
+                                                argument=argument)])
+        assert structural_key(make(1.0)) != structural_key(make(2.0))
+
+    def test_different_operators_differ(self):
+        argument = WeightedSum(offset=Weight(stored=1.0))
+        a = ProductTerm(ops=[UnaryOpTerm(op=UNARY_OPERATORS["abs"],
+                                         argument=argument.clone())])
+        b = ProductTerm(ops=[UnaryOpTerm(op=UNARY_OPERATORS["sqrt"],
+                                         argument=argument.clone())])
+        assert structural_key(a) != structural_key(b)
+
+    def test_operator_order_is_part_of_key(self):
+        # Products are not reordered: the key encodes the exact float recipe.
+        argument = WeightedSum(offset=Weight(stored=1.0))
+        op_a = UnaryOpTerm(op=UNARY_OPERATORS["abs"], argument=argument.clone())
+        op_b = UnaryOpTerm(op=UNARY_OPERATORS["sqrt"], argument=argument.clone())
+        ab = ProductTerm(ops=[op_a.clone(), op_b.clone()])
+        ba = ProductTerm(ops=[op_b.clone(), op_a.clone()])
+        assert structural_key(ab) != structural_key(ba)
+
+    def test_rejects_foreign_objects(self):
+        with pytest.raises(TypeError):
+            structural_key(object())
+
+
+class TestBasisColumnCache:
+    def test_lru_eviction(self):
+        cache = BasisColumnCache(max_entries=2)
+        cache.put(("a",), np.zeros(3))
+        cache.put(("b",), np.ones(3))
+        assert cache.get(("a",)) is not None  # refresh recency of "a"
+        cache.put(("c",), np.full(3, 2.0))    # evicts "b"
+        assert ("b",) not in cache
+        assert ("a",) in cache and ("c",) in cache
+        assert cache.stats.evictions == 1
+
+    def test_zero_capacity_disables_storage(self):
+        cache = BasisColumnCache(max_entries=0)
+        cache.put(("a",), np.zeros(3))
+        assert len(cache) == 0
+        assert cache.get(("a",)) is None
+        assert cache.stats.misses == 1
+
+    def test_hit_rate(self):
+        cache = BasisColumnCache(max_entries=4)
+        cache.put(("a",), np.zeros(3))
+        cache.get(("a",))
+        cache.get(("missing",))
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.as_dict()["hit_rate"] == pytest.approx(0.5)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BasisColumnCache(max_entries=-1)
+
+
+class TestEvaluatorEquivalence:
+    """Cached, uncached, serial and parallel evaluation are bit-for-bit equal."""
+
+    def _assert_same_evaluation(self, a: Individual, b: Individual):
+        assert a.error == b.error
+        assert a.complexity == b.complexity
+        assert a.normalization == b.normalization
+        assert (a.fit is None) == (b.fit is None)
+        if a.fit is not None:
+            assert a.fit.intercept == b.fit.intercept
+            assert np.array_equal(a.fit.coefficients, b.fit.coefficients)
+
+    def test_matches_legacy_individual_evaluate(self, generator, rational_train,
+                                                fast_settings):
+        population = _random_population(generator, 12)
+        legacy = [ind.clone() for ind in population]
+        for individual in legacy:
+            individual.evaluate(rational_train.X, rational_train.y, fast_settings)
+        evaluator = PopulationEvaluator(rational_train.X, rational_train.y,
+                                        fast_settings)
+        evaluator.evaluate_population(population)
+        for cached, uncached in zip(population, legacy):
+            self._assert_same_evaluation(cached, uncached)
+
+    def test_cache_hit_equals_cache_miss(self, generator, rational_train,
+                                         fast_settings):
+        individual = _random_population(generator, 1)[0]
+        evaluator = PopulationEvaluator(rational_train.X, rational_train.y,
+                                        fast_settings)
+        first = evaluator.evaluate_individual(individual.clone())
+        assert evaluator.n_fits_computed == 1
+        # A structurally identical clone is served from the fit cache ...
+        second = evaluator.evaluate_individual(individual.clone())
+        assert evaluator.n_fits_computed == 1
+        assert evaluator.n_fit_requests == 2
+        assert evaluator.fit_hit_rate == pytest.approx(0.5)
+        self._assert_same_evaluation(first, second)
+        # ... and a weight-perturbed variant misses the fit cache but still
+        # evaluates correctly against the legacy path.
+        from repro.core.expression import iter_weights
+
+        variant = individual.clone()
+        perturbed = False
+        for basis in variant.bases:
+            for weight in iter_weights(basis):
+                weight.stored = weight.stored + 0.5
+                perturbed = True
+        legacy = variant.clone()
+        evaluator.evaluate_individual(variant)
+        legacy.evaluate(rational_train.X, rational_train.y, fast_settings)
+        if perturbed:
+            assert evaluator.n_fits_computed == 2
+        self._assert_same_evaluation(variant, legacy)
+
+    def test_cache_disabled_still_correct(self, generator, rational_train,
+                                          fast_settings):
+        population = _random_population(generator, 6)
+        reference = [ind.clone() for ind in population]
+        no_cache = PopulationEvaluator(
+            rational_train.X, rational_train.y,
+            fast_settings.copy(basis_cache_size=0))
+        cached = PopulationEvaluator(rational_train.X, rational_train.y,
+                                     fast_settings)
+        no_cache.evaluate_population(population)
+        cached.evaluate_population(reference)
+        for a, b in zip(population, reference):
+            self._assert_same_evaluation(a, b)
+
+    def test_tiny_cache_evicts_but_stays_correct(self, generator, rational_train,
+                                                 fast_settings):
+        population = _random_population(generator, 10)
+        reference = [ind.clone() for ind in population]
+        tiny = PopulationEvaluator(rational_train.X, rational_train.y,
+                                   fast_settings.copy(basis_cache_size=2))
+        big = PopulationEvaluator(rational_train.X, rational_train.y,
+                                  fast_settings)
+        tiny.evaluate_population(population)
+        big.evaluate_population(reference)
+        assert tiny.cache.stats.evictions > 0
+        for a, b in zip(population, reference):
+            self._assert_same_evaluation(a, b)
+
+    def test_thread_backend_matches_serial(self, generator, rational_train,
+                                           fast_settings):
+        population = _random_population(generator, 10)
+        reference = [ind.clone() for ind in population]
+        threaded = PopulationEvaluator(
+            rational_train.X, rational_train.y,
+            fast_settings.copy(evaluation_backend="thread",
+                               evaluation_workers=2))
+        serial = PopulationEvaluator(rational_train.X, rational_train.y,
+                                     fast_settings)
+        threaded.evaluate_population(population)
+        serial.evaluate_population(reference)
+        for a, b in zip(population, reference):
+            self._assert_same_evaluation(a, b)
+
+    def test_process_backend_falls_back_on_lambdas(self, generator,
+                                                   rational_train, fast_settings):
+        population = _random_population(generator, 4)
+        # Guarantee at least one operator-bearing tree: its Operator record
+        # holds a lambda, which cannot be pickled across a process boundary.
+        with_op = ProductTerm(ops=[UnaryOpTerm(
+            op=UNARY_OPERATORS["abs"],
+            argument=WeightedSum(offset=Weight(stored=1.0)))])
+        population.append(Individual(bases=[with_op]))
+        evaluator = PopulationEvaluator(
+            rational_train.X, rational_train.y,
+            fast_settings.copy(evaluation_backend="process",
+                               evaluation_workers=2))
+        # The default function set stores lambdas, which cannot cross a
+        # process boundary; the evaluator must degrade to threads, warn once,
+        # and still produce correct results.
+        with pytest.warns(RuntimeWarning):
+            evaluator.evaluate_population(population)
+        reference = [ind.clone() for ind in population]
+        for individual in reference:
+            individual.evaluate(rational_train.X, rational_train.y, fast_settings)
+        for a, b in zip(population, reference):
+            self._assert_same_evaluation(a, b)
+
+    def test_process_backend_runs_picklable_trees(self, rational_train,
+                                                  fast_settings):
+        """VC-only trees contain no lambdas, so the process pool genuinely
+        runs (no fallback warning) and matches the serial results."""
+        import warnings as warnings_module
+
+        population = [Individual(bases=[ProductTerm(vc=VariableCombo((k, j, 1)))])
+                      for k in (1, 2, 3) for j in (-1, -2)]
+        reference = [ind.clone() for ind in population]
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            with PopulationEvaluator(
+                    rational_train.X, rational_train.y,
+                    fast_settings.copy(evaluation_backend="process",
+                                       evaluation_workers=2)) as evaluator:
+                evaluator.evaluate_population(population)
+        assert not [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+        serial = PopulationEvaluator(rational_train.X, rational_train.y,
+                                     fast_settings)
+        serial.evaluate_population(reference)
+        for a, b in zip(population, reference):
+            self._assert_same_evaluation(a, b)
+
+    def test_run_releases_worker_pool(self, rational_train):
+        from repro.core.engine import CaffeineEngine
+
+        settings = CaffeineSettings(population_size=20, n_generations=2,
+                                    random_seed=0,
+                                    evaluation_backend="thread",
+                                    evaluation_workers=2)
+        engine = CaffeineEngine(rational_train, settings=settings)
+        engine.run()
+        assert engine.evaluator._executor is None
+
+    def test_simplify_rejects_mismatched_evaluator(self, generator,
+                                                   rational_train, fast_settings):
+        from repro.core.simplify import simplify_individual
+
+        individual = _random_population(generator, 1)[0]
+        evaluator = PopulationEvaluator(rational_train.X, rational_train.y,
+                                        fast_settings)
+        evaluator.evaluate_individual(individual)
+        other_X = rational_train.X[:50]
+        other_y = rational_train.y[:50]
+        with pytest.raises(ValueError):
+            simplify_individual(individual, other_X, other_y, fast_settings,
+                                evaluator=evaluator)
+
+    def test_infeasible_individuals_marked(self, rational_train, fast_settings):
+        # x^-4 on a dataset containing zero blows up -> non-finite column.
+        X = rational_train.X.copy()
+        X[0, 0] = 0.0
+        bad = Individual(bases=[ProductTerm(vc=VariableCombo((-4, 0, 0)))])
+        evaluator = PopulationEvaluator(X, rational_train.y, fast_settings)
+        evaluator.evaluate_individual(bad)
+        assert not bad.is_feasible
+        assert bad.error == float("inf")
+
+    def test_evaluate_individual_inplace_helper(self, generator, rational_train,
+                                                fast_settings):
+        individual = _random_population(generator, 1)[0]
+        reference = individual.clone()
+        evaluate_individual_inplace(individual, rational_train.X,
+                                    rational_train.y, fast_settings)
+        reference.evaluate(rational_train.X, rational_train.y, fast_settings)
+        self._assert_same_evaluation(individual, reference)
+
+
+class TestEvaluatorValidation:
+    def test_rejects_1d_X(self, fast_settings):
+        with pytest.raises(ValueError):
+            PopulationEvaluator(np.zeros(5), np.zeros(5), fast_settings)
+
+    def test_rejects_sample_mismatch(self, fast_settings):
+        with pytest.raises(ValueError):
+            PopulationEvaluator(np.zeros((5, 2)), np.zeros(4), fast_settings)
+
+    def test_settings_validate_backend(self):
+        with pytest.raises(ValueError):
+            CaffeineSettings(evaluation_backend="gpu")
+        with pytest.raises(ValueError):
+            CaffeineSettings(evaluation_workers=-1)
+        with pytest.raises(ValueError):
+            CaffeineSettings(basis_cache_size=-1)
+
+
+class TestEndToEndReproducibility:
+    def test_cache_on_off_same_tradeoff(self, rational_train, rational_test):
+        """Fixed seed => identical trade-off whether or not the cache is on."""
+        base = CaffeineSettings(population_size=20, n_generations=4,
+                                random_seed=7)
+        cached = run_caffeine(rational_train, rational_test, base)
+        uncached = run_caffeine(rational_train, rational_test,
+                                base.copy(basis_cache_size=0))
+        assert [m.expression() for m in cached.tradeoff] == \
+            [m.expression() for m in uncached.tradeoff]
+        assert [m.train_error for m in cached.tradeoff] == \
+            [m.train_error for m in uncached.tradeoff]
+
+    def test_thread_backend_same_tradeoff(self, rational_train, rational_test):
+        base = CaffeineSettings(population_size=20, n_generations=4,
+                                random_seed=7)
+        serial = run_caffeine(rational_train, rational_test, base)
+        threaded = run_caffeine(rational_train, rational_test,
+                                base.copy(evaluation_backend="thread",
+                                          evaluation_workers=2))
+        assert [m.expression() for m in serial.tradeoff] == \
+            [m.expression() for m in threaded.tradeoff]
+
+    def test_engine_cache_hits_accumulate(self, rational_train):
+        from repro.core.engine import CaffeineEngine
+
+        settings = CaffeineSettings(population_size=20, n_generations=3,
+                                    random_seed=5)
+        engine = CaffeineEngine(rational_train, settings=settings)
+        result = engine.run()
+        assert result.n_models >= 1
+        # Clones and crossover survivors re-use parental basis functions, so
+        # a multi-generation run must see cache hits.
+        assert engine.evaluator.stats.hits > 0
+        assert engine.evaluator.n_evaluated >= \
+            settings.population_size * (settings.n_generations + 1)

@@ -131,3 +131,40 @@ class TestNsga2Selection:
     def test_binary_tournament_empty(self):
         with pytest.raises(ValueError):
             binary_tournament([], np.random.default_rng(0))
+
+    def test_binary_tournament_singleton_population(self):
+        only = Point((1.0, 1.0))
+        ranked = rank_population([only])
+        assert binary_tournament(ranked, np.random.default_rng(0)) is only
+
+    def test_binary_tournament_never_self_competes(self):
+        """With two members where one dominates, the tournament always draws
+        two distinct competitors, so the dominated one can never win (the old
+        same-index bug let it win ~25% of the time)."""
+        better = Point((1.0, 1.0))
+        worse = Point((2.0, 2.0))
+        ranked = rank_population([better, worse])
+        rng = np.random.default_rng(0)
+        winners = [binary_tournament(ranked, rng) for _ in range(200)]
+        assert all(w is better for w in winners)
+
+    def test_environmental_selection_partial_front_tied_crowding(self):
+        """Truncating inside a front of equally spaced (tied-crowding) points
+        keeps exactly target_size survivors including both boundary points."""
+        front = [Point((float(i), float(6 - i))) for i in range(7)]
+        survivors = environmental_selection(front, 4)
+        assert len(survivors) == 4
+        objectives = {p.objectives for p in survivors}
+        # Boundary points carry infinite crowding and always survive; the
+        # interior picks come from the tied group without duplication.
+        assert (0.0, 6.0) in objectives and (6.0, 0.0) in objectives
+        assert len(objectives) == 4
+
+    def test_environmental_selection_all_tied_interior(self):
+        """A partial front where every interior crowding distance ties must
+        still fill deterministically to the requested size."""
+        front = [Point((float(i), float(9 - i))) for i in range(10)]
+        first = environmental_selection(front, 5)
+        second = environmental_selection(front, 5)
+        assert [p.objectives for p in first] == [p.objectives for p in second]
+        assert len(first) == 5

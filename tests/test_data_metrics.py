@@ -112,6 +112,26 @@ class TestPaperQualityMeasures:
         assert q_tc(y_test, prediction, normalization=error_normalization(y_train)) \
             == pytest.approx(np.sqrt(1.0) / 10.0)
 
+    def test_qtc_requires_training_normalization(self):
+        """Regression: qtc used to silently fall back to the *testing* range,
+        rescaling the paper's measure; the normalization is now mandatory."""
+        y_test = np.array([4.0, 6.0])
+        prediction = np.array([5.0, 5.0])
+        with pytest.raises(TypeError):
+            q_tc(y_test, prediction)
+
+    def test_qtc_differs_from_test_range_normalization(self):
+        """The training range (not the narrower testing range) is the
+        denominator, so interpolative test sets score *lower*, not higher."""
+        y_train = np.array([0.0, 10.0])
+        y_test = np.array([4.0, 6.0])
+        prediction = np.array([5.0, 5.0])
+        training_normalized = q_tc(y_test, prediction,
+                                   error_normalization(y_train))
+        testing_normalized = q_tc(y_test, prediction,
+                                  error_normalization(y_test))
+        assert training_normalized < testing_normalized
+
     def test_interpolation_gives_lower_test_error(self):
         """With a fixed (training-range) normalization, a model evaluated on
         lower-spread interior data scores a lower error -- the paper's
