@@ -1,4 +1,4 @@
-"""Population-evaluation benchmark: cached subsystem vs. naive re-evaluation.
+"""Population-evaluation benchmark: cached subsystems vs. naive re-evaluation.
 
 Measures the Figure-3 workload (the PM dataset, population 100) through the
 batch evaluation subsystem of :mod:`repro.core.evaluation` and through the
@@ -6,36 +6,49 @@ naive per-individual path it replaced, on **two** honestly labeled workloads:
 
 * ``offspring`` -- the engine's actual evaluation stream (initial population
   plus every generation's fresh offspring).  Fresh individuals need fresh
-  linear fits, so here the gains come from the basis-column cache only:
-  offspring share most basis functions with their parents.
+  linear fits, so here the gains come from the basis-column cache plus --
+  since the gram pool -- from fits that gather cached normal-equation
+  scalars instead of re-reducing ``n_samples``-long columns.
 * ``reevaluation`` -- re-evaluating each generation's post-selection
   population, the shape of simplification passes, test-set sweeps and
   repeated analysis.  Survivors recur across generations, so the
   individual-level fit cache dominates and the speedup is large.
 
-Emits machine-readable JSON (``benchmarks/output/bench_evaluation.json``)
-with evaluations/sec, speedups and cache hit rates for both workloads, so
-future PRs can track the performance trajectory of the hot loop.  Both paths
-are verified to produce bit-for-bit identical errors before any number is
-reported.
+Each workload is measured under both fit backends (``direct`` =
+per-individual ``fit_linear``, ``gram`` = pooled gather-and-solve), and the
+report includes fits/sec per backend.  NSGA-II ranking time is reported
+*separately* (it is selection, not evaluation) in a ``pareto_sort`` section
+-- and at larger population scales in ``bench_pareto.json``.
+
+Emits machine-readable JSON (``benchmarks/output/bench_evaluation.json``;
+schema documented in ``benchmarks/README.md``) so future PRs can track the
+performance trajectory of the hot loop.  All paths are verified to produce
+bit-for-bit identical errors before any number is reported.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 
 from repro.core.engine import CaffeineEngine
 from repro.core.evaluation import PopulationEvaluator, evaluate_individual_inplace
+from repro.core.nsga2 import rank_population
 from repro.core.settings import CaffeineSettings
 
 from conftest import write_output
 
-#: Regression gates, set below the reference-machine numbers (~3.5x and
-#: ~1.2x respectively) to absorb CI noise while failing loudly if the caches
-#: stop helping.
-MIN_REEVALUATION_SPEEDUP = 2.5
-MIN_OFFSPRING_SPEEDUP = 1.0
+#: Regression gates.  The gram backend must deliver the tentpole's promised
+#: >= 2x on the fresh-offspring stream; the direct backend keeps PR 1's
+#: column-cache-only gate; the re-evaluation path is fit-cache dominated.
+#: ``BENCH_RELAX_SPEEDUP_GATES=1`` (set by CI's shared noisy runners)
+#: disables only the wall-clock ratio gates; the bit-for-bit equivalence
+#: checks always hold.
+_GATES_RELAXED = os.environ.get("BENCH_RELAX_SPEEDUP_GATES") == "1"
+MIN_REEVALUATION_SPEEDUP = 0.0 if _GATES_RELAXED else 2.5
+MIN_OFFSPRING_SPEEDUP_DIRECT = 0.0 if _GATES_RELAXED else 1.0
+MIN_OFFSPRING_SPEEDUP_GRAM = 0.0 if _GATES_RELAXED else 2.0
 
 #: Figure-3 workload scale: population 100 over the benchmark generation
 #: budget used by the shared harness (see conftest.BENCH_SETTINGS).
@@ -69,51 +82,128 @@ def _capture_workloads(train):
     return engine, offspring_batches, population_batches
 
 
-def _measure(engine, batches):
-    """Time naive vs. cached evaluation of the batches; verify equivalence."""
-    n_evaluations = sum(len(batch) for batch in batches)
+#: Timing rounds; every round times naive, direct and gram back to back
+#: (round-robin), and each path reports its best round.  Interleaving means
+#: background load (the rest of the benchmark suite, CI neighbours) hits all
+#: three paths alike instead of skewing whichever ran while the machine was
+#: busy, which is what keeps the speedup gates stable.
+TIMING_ROUNDS = 3
 
-    naive = [[ind.clone() for ind in batch] for batch in batches]
+
+def _run_naive(engine, batches):
+    """Naive per-individual evaluation (tree re-evaluation + direct fit)."""
+    clones = [[ind.clone() for ind in batch] for batch in batches]
     start = time.perf_counter()
-    for batch in naive:
+    for batch in clones:
         for individual in batch:
             evaluate_individual_inplace(individual, engine.train.X,
                                         engine.train.y, WORKLOAD_SETTINGS)
-    naive_seconds = time.perf_counter() - start
+    return time.perf_counter() - start, clones
 
-    cached = [[ind.clone() for ind in batch] for batch in batches]
-    evaluator = PopulationEvaluator(engine.train.X, engine.train.y,
-                                    WORKLOAD_SETTINGS)
+
+def _run_cached(engine, batches, fit_backend):
+    """Batch evaluation through a fresh (cold-cache) evaluator.
+
+    Every round starts cold, so cache hit rates and work counters are
+    identical across rounds (they are deterministic); only wall-clock
+    varies.
+    """
+    clones = [[ind.clone() for ind in batch] for batch in batches]
+    evaluator = PopulationEvaluator(
+        engine.train.X, engine.train.y,
+        WORKLOAD_SETTINGS.copy(fit_backend=fit_backend))
     start = time.perf_counter()
-    for batch in cached:
+    for batch in clones:
         evaluator.evaluate_population(batch)
-    cached_seconds = time.perf_counter() - start
+    return time.perf_counter() - start, clones, evaluator
 
-    # Bit-for-bit equivalence of the two paths, before believing any timing.
-    for naive_batch, cached_batch in zip(naive, cached):
-        for a, b in zip(naive_batch, cached_batch):
-            assert a.error == b.error
-            assert a.complexity == b.complexity
+
+def _measure(engine, batches):
+    """Time naive vs. both cached backends; verify bit-for-bit equivalence.
+
+    Speedups are **paired**: each round's cached time is compared against
+    the naive time of the *same* round (they run back to back, so machine
+    load hits both alike) and the best load-matched ratio is reported.
+    Comparing independent bests instead would let one lucky naive round on
+    a drifting machine mask a genuinely faster cached path.
+    """
+    n_evaluations = sum(len(batch) for batch in batches)
+    seconds_by_path = {"naive": [], "direct": [], "gram": []}
+    first_results = {}
+    evaluators = {}
+    for _round in range(TIMING_ROUNDS):
+        seconds, naive = _run_naive(engine, batches)
+        seconds_by_path["naive"].append(seconds)
+        first_results.setdefault("naive", naive)
+        for fit_backend in ("direct", "gram"):
+            seconds, cached, evaluator = _run_cached(engine, batches,
+                                                     fit_backend)
+            seconds_by_path[fit_backend].append(seconds)
+            first_results.setdefault(fit_backend, cached)
+            evaluators.setdefault(fit_backend, evaluator)
+
+    best_naive = min(seconds_by_path["naive"])
+    backends = {}
+    for fit_backend in ("direct", "gram"):
+        # Bit-for-bit equivalence before believing any timing.
+        for naive_batch, cached_batch in zip(first_results["naive"],
+                                             first_results[fit_backend]):
+            for a, b in zip(naive_batch, cached_batch):
+                assert a.error == b.error, fit_backend
+                assert a.complexity == b.complexity, fit_backend
+        seconds = min(seconds_by_path[fit_backend])
+        speedup = max(naive_seconds / cached_seconds
+                      for naive_seconds, cached_seconds
+                      in zip(seconds_by_path["naive"],
+                             seconds_by_path[fit_backend]))
+        evaluator = evaluators[fit_backend]
+        entry = {
+            "seconds": round(seconds, 4),
+            "evaluations_per_second": round(n_evaluations / seconds, 1),
+            "fits_per_second": round(evaluator.n_fits_computed / seconds, 1),
+            "n_fits_computed": evaluator.n_fits_computed,
+            "speedup": round(speedup, 2),
+            "column_cache_hit_rate": round(evaluator.column_hit_rate, 4),
+            "fit_cache_hit_rate": round(evaluator.fit_hit_rate, 4),
+            "column_cache_entries": len(evaluator.cache),
+        }
+        if evaluator.gram_pool is not None:
+            entry["gram_pair_hit_rate"] = round(
+                evaluator.gram_pool.pair_hit_rate, 4)
+            entry["gram_pairs_computed"] = evaluator.gram_pool.n_pairs_computed
+            entry["gram_pool_entries"] = len(evaluator.gram_pool)
+        backends[fit_backend] = entry
 
     return {
         "n_evaluations": n_evaluations,
-        "naive_seconds": round(naive_seconds, 4),
-        "cached_seconds": round(cached_seconds, 4),
-        "naive_evaluations_per_second": round(n_evaluations / naive_seconds, 1),
-        "cached_evaluations_per_second": round(n_evaluations / cached_seconds, 1),
-        "speedup": round(naive_seconds / cached_seconds, 2),
-        "column_cache_hit_rate": round(evaluator.column_hit_rate, 4),
-        "fit_cache_hit_rate": round(evaluator.fit_hit_rate, 4),
-        "column_cache_entries": len(evaluator.cache),
-    }, evaluator
+        "naive_seconds": round(best_naive, 4),
+        "naive_evaluations_per_second": round(n_evaluations / best_naive, 1),
+        "backends": backends,
+    }
+
+
+def _measure_sort(population):
+    """NSGA-II ranking time on one realistic population, per backend."""
+    report = {"population_size": len(population)}
+    for backend in ("python", "numpy"):
+        repeats = 5
+        start = time.perf_counter()
+        for _ in range(repeats):
+            rank_population(population, backend=backend)
+        seconds = (time.perf_counter() - start) / repeats
+        report[f"{backend}_seconds"] = round(seconds, 6)
+    report["speedup"] = round(report["python_seconds"]
+                              / max(report["numpy_seconds"], 1e-12), 2)
+    return report
 
 
 def test_population_evaluation_throughput(benchmark, bench_datasets):
     train, _ = bench_datasets.for_target("PM")
     engine, offspring_batches, population_batches = _capture_workloads(train)
 
-    offspring_report, _ = _measure(engine, offspring_batches)
-    reevaluation_report, evaluator = _measure(engine, population_batches)
+    offspring_report = _measure(engine, offspring_batches)
+    reevaluation_report = _measure(engine, population_batches)
+    sort_report = _measure_sort(population_batches[-1])
 
     report = {
         "workload": "figure3-PM",
@@ -121,25 +211,36 @@ def test_population_evaluation_throughput(benchmark, bench_datasets):
         "n_generations": WORKLOAD_SETTINGS.n_generations,
         "offspring": offspring_report,
         "reevaluation": reevaluation_report,
+        "pareto_sort": sort_report,
     }
     write_output("bench_evaluation.json", json.dumps(report, indent=2))
 
-    assert reevaluation_report["speedup"] >= MIN_REEVALUATION_SPEEDUP, \
+    gram_offspring = offspring_report["backends"]["gram"]
+    direct_offspring = offspring_report["backends"]["direct"]
+    gram_reevaluation = reevaluation_report["backends"]["gram"]
+    assert gram_reevaluation["speedup"] >= MIN_REEVALUATION_SPEEDUP, \
         (f"re-evaluation speedup regressed: "
-         f"{reevaluation_report['speedup']}x < {MIN_REEVALUATION_SPEEDUP}x")
-    assert offspring_report["speedup"] >= MIN_OFFSPRING_SPEEDUP, \
-        (f"offspring-stream speedup regressed: "
-         f"{offspring_report['speedup']}x < {MIN_OFFSPRING_SPEEDUP}x")
+         f"{gram_reevaluation['speedup']}x < {MIN_REEVALUATION_SPEEDUP}x")
+    assert gram_offspring["speedup"] >= MIN_OFFSPRING_SPEEDUP_GRAM, \
+        (f"gram offspring-stream speedup regressed: "
+         f"{gram_offspring['speedup']}x < {MIN_OFFSPRING_SPEEDUP_GRAM}x")
+    assert direct_offspring["speedup"] >= MIN_OFFSPRING_SPEEDUP_DIRECT, \
+        (f"direct offspring-stream speedup regressed: "
+         f"{direct_offspring['speedup']}x < {MIN_OFFSPRING_SPEEDUP_DIRECT}x")
     # Offspring reuse parental basis functions even though their fits are
-    # fresh; survivors recur wholesale.
-    assert offspring_report["column_cache_hit_rate"] > 0.5
-    assert reevaluation_report["fit_cache_hit_rate"] > 0.5
+    # fresh; survivors recur wholesale; offspring grams are mostly gathers.
+    assert gram_offspring["column_cache_hit_rate"] > 0.5
+    assert gram_reevaluation["fit_cache_hit_rate"] > 0.5
+    assert gram_offspring["gram_pair_hit_rate"] > 0.5
 
     # ------------------------------------------------------------------
     # Timed section: one warm-cache population evaluation (the unit of work
     # the evolutionary loop repeats every generation).
     # ------------------------------------------------------------------
     final_batch = population_batches[-1]
+    evaluator = PopulationEvaluator(engine.train.X, engine.train.y,
+                                    WORKLOAD_SETTINGS)
+    evaluator.evaluate_population([ind.clone() for ind in final_batch])
 
     def evaluate_final_population():
         evaluator.evaluate_population([ind.clone() for ind in final_batch])

@@ -35,7 +35,10 @@ from repro.core import (
     CaffeineResult,
     CaffeineSettings,
     FunctionSet,
+    BasisColumnCache,
+    GramPool,
     PopulationEvaluator,
+    dataset_fingerprint,
     SymbolicModel,
     TradeoffSet,
     default_function_set,
@@ -56,6 +59,9 @@ __all__ = [
     "SymbolicModel",
     "TradeoffSet",
     "PopulationEvaluator",
+    "BasisColumnCache",
+    "GramPool",
+    "dataset_fingerprint",
     "FunctionSet",
     "default_function_set",
     "rational_function_set",

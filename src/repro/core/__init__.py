@@ -18,7 +18,9 @@ from repro.core.complexity import basis_function_complexity, model_complexity, v
 from repro.core.evaluation import (
     BasisColumnCache,
     CacheStats,
+    GramPool,
     PopulationEvaluator,
+    dataset_fingerprint,
 )
 from repro.core.engine import (
     CaffeineEngine,
@@ -80,6 +82,8 @@ __all__ = [
     "PopulationEvaluator",
     "BasisColumnCache",
     "CacheStats",
+    "GramPool",
+    "dataset_fingerprint",
     "structural_key",
     "ExpressionGenerator",
     "VariationOperators",

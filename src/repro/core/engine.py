@@ -25,7 +25,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.evaluation import PopulationEvaluator
+from repro.core.evaluation import BasisColumnCache, PopulationEvaluator
 from repro.core.generator import ExpressionGenerator
 from repro.core.individual import Individual
 from repro.core.model import SymbolicModel, TradeoffSet
@@ -96,7 +96,8 @@ class CaffeineEngine:
     """Stateful engine; :func:`run_caffeine` wraps it for the common case."""
 
     def __init__(self, train: Dataset, test: Optional[Dataset] = None,
-                 settings: Optional[CaffeineSettings] = None) -> None:
+                 settings: Optional[CaffeineSettings] = None,
+                 column_cache: Optional[BasisColumnCache] = None) -> None:
         self.train = train.drop_nonfinite()
         self.test = test.drop_nonfinite() if test is not None else None
         if self.test is not None and self.test.variable_names != self.train.variable_names:
@@ -106,8 +107,15 @@ class CaffeineEngine:
         self.generator = ExpressionGenerator(self.train.n_variables,
                                              self.settings, rng=self.rng)
         self.operators = VariationOperators(self.generator, self.settings, rng=self.rng)
+        # column_cache may be shared across engines: its keys carry a
+        # dataset + function-set fingerprint, so multi-target drivers that
+        # evaluate on the same X with the same operator bindings (the
+        # paper's six OTA performances) reuse each other's evaluated basis
+        # columns; different data or operator bindings never collide.
         self.evaluator = PopulationEvaluator(self.train.X, self.train.y,
-                                             self.settings)
+                                             self.settings,
+                                             cache=column_cache)
+        self._pareto_backend = self.settings.pareto_backend
         self.history: List[GenerationStats] = []
         self.population: List[Individual] = []
 
@@ -122,7 +130,7 @@ class CaffeineEngine:
 
     def step(self, generation: int) -> GenerationStats:
         """Run one NSGA-II generation and return its statistics."""
-        ranked = rank_population(self.population)
+        ranked = rank_population(self.population, backend=self._pareto_backend)
         offspring: List[Individual] = []
         for _ in range(self.settings.population_size):
             parent_a = binary_tournament(ranked, self.rng)
@@ -135,7 +143,8 @@ class CaffeineEngine:
         self.evaluator.evaluate_population(offspring)
         combined = self.population + offspring
         self.population = environmental_selection(combined,
-                                                  self.settings.population_size)
+                                                  self.settings.population_size,
+                                                  backend=self._pareto_backend)
         stats = self._collect_stats(generation)
         self.history.append(stats)
         return stats
@@ -143,7 +152,8 @@ class CaffeineEngine:
     def _collect_stats(self, generation: int) -> GenerationStats:
         feasible = [ind for ind in self.population if ind.is_feasible]
         errors = np.array([ind.error for ind in feasible]) if feasible else np.array([np.inf])
-        front = nondominated_filter(feasible, key=lambda ind: ind.objectives) \
+        front = nondominated_filter(feasible, key=lambda ind: ind.objectives,
+                                    backend=self._pareto_backend) \
             if feasible else []
         best_complexity = min((ind.complexity for ind in front), default=float("inf"))
         return GenerationStats(
@@ -159,7 +169,8 @@ class CaffeineEngine:
     def final_front(self) -> List[Individual]:
         """Feasible nondominated individuals of the final population."""
         feasible = [ind for ind in self.population if ind.is_feasible]
-        return nondominated_filter(feasible, key=lambda ind: ind.objectives)
+        return nondominated_filter(feasible, key=lambda ind: ind.objectives,
+                                   backend=self._pareto_backend)
 
     def run(self, progress: Optional[ProgressCallback] = None) -> CaffeineResult:
         """Run the full evolutionary loop plus post-processing.
@@ -183,7 +194,8 @@ class CaffeineEngine:
                                             self.settings,
                                             evaluator=self.evaluator)
                 front = [ind for ind in front if ind.is_feasible]
-                front = nondominated_filter(front, key=lambda ind: ind.objectives)
+                front = nondominated_filter(front, key=lambda ind: ind.objectives,
+                                            backend=self._pareto_backend)
         finally:
             self.evaluator.shutdown()
 
@@ -222,7 +234,9 @@ class CaffeineEngine:
 
 def run_caffeine(train: Dataset, test: Optional[Dataset] = None,
                  settings: Optional[CaffeineSettings] = None,
-                 progress: Optional[ProgressCallback] = None) -> CaffeineResult:
+                 progress: Optional[ProgressCallback] = None,
+                 column_cache: Optional[BasisColumnCache] = None
+                 ) -> CaffeineResult:
     """Run CAFFEINE on a training dataset (and optional testing dataset).
 
     This is the library's main entry point::
@@ -232,6 +246,13 @@ def run_caffeine(train: Dataset, test: Optional[Dataset] = None,
                                                             n_generations=50))
         for model in result.test_tradeoff:
             print(model.train_error_percent, model.expression())
+
+    ``column_cache`` optionally shares one
+    :class:`~repro.core.evaluation.BasisColumnCache` across runs; cache keys
+    are namespaced by a dataset fingerprint, so runs on the same ``X``
+    (e.g. the six OTA performances) reuse evaluated basis columns while
+    runs on different data stay isolated.
     """
-    engine = CaffeineEngine(train, test=test, settings=settings)
+    engine = CaffeineEngine(train, test=test, settings=settings,
+                            column_cache=column_cache)
     return engine.run(progress=progress)

@@ -17,20 +17,40 @@ the *same* dataset.  This module removes that redundancy:
   basis matrix from cached columns and runs the linear fits; a second,
   individual-level LRU (keyed by the ordered tuple of basis keys) short-cuts
   the fit itself for structurally identical individuals;
+* :class:`GramPool` -- a cross-generation pool of normal-equation scalars
+  (column sums, column--target dots and pairwise column dot products, all by
+  structural key) that turns each linear fit into a small
+  ``(k+1) x (k+1)`` gather-and-solve with no per-fit pass over
+  ``n_samples`` beyond the final residual step; offspring that differ from a
+  parent by one basis function cost ``k`` fresh pair dots instead of a full
+  ``k^2`` gram (the incremental, "rank-1" regime);
 * :func:`evaluate_individual_inplace` -- the one-individual path that
   ``Individual.evaluate`` wraps for backward compatibility.
 
 Correctness invariant: a cache hit returns the exact array a fresh
 evaluation would produce (both go through
 :func:`repro.core.individual.evaluate_basis_column`, and the structural key
-encodes the exact floating-point recipe), so cached, uncached, serial and
-parallel evaluation are all bit-for-bit identical -- a fixed seed produces
-the same trade-off set regardless of these settings.
+encodes the exact floating-point recipe), and a gram-pool fit returns the
+exact :class:`~repro.regression.least_squares.LinearFit` a direct
+:func:`~repro.regression.least_squares.fit_linear` would (both build their
+normal equations from the canonical
+:func:`~repro.regression.least_squares.pair_dots` recipe) -- so cached,
+uncached, serial, parallel, gram-pooled and direct evaluation are all
+bit-for-bit identical: a fixed seed produces the same trade-off set
+regardless of these settings.
+
+Column-cache keys carry a :func:`dataset_fingerprint` prefix, so one
+:class:`BasisColumnCache` can safely be shared by evaluators bound to
+different targets: the six OTA performances of the paper's experiments all
+evaluate on the *same* ``X``, and a shared cache makes the column side of a
+multi-target experiment driver roughly six times cheaper (see
+``repro.experiments.setup.run_caffeine_for_target``).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import pickle
 import warnings
 from collections import OrderedDict
@@ -47,14 +67,57 @@ from repro.core.individual import (
 )
 from repro.core.settings import CaffeineSettings
 from repro.data.metrics import error_normalization, relative_rmse
-from repro.regression.least_squares import fit_linear
+from repro.regression.least_squares import (
+    fit_linear,
+    fit_linear_from_gram,
+    fit_linear_from_gram_batch,
+    pair_dots,
+)
 
 __all__ = [
     "CacheStats",
     "BasisColumnCache",
+    "GramPool",
     "PopulationEvaluator",
+    "dataset_fingerprint",
     "evaluate_individual_inplace",
 ]
+
+
+def dataset_fingerprint(X: np.ndarray) -> str:
+    """Content hash of a sample matrix, used to namespace shared caches.
+
+    Two evaluators whose ``X`` matrices are byte-identical produce the same
+    fingerprint and can therefore share evaluated basis columns through one
+    :class:`BasisColumnCache`; any difference in shape or data yields a
+    different prefix, so a shared cache can never serve a column evaluated
+    on other data.
+    """
+    arr = np.ascontiguousarray(np.asarray(X, dtype=float))
+    digest = hashlib.sha1()
+    digest.update(str(arr.shape).encode("ascii"))
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def function_set_fingerprint(function_set) -> Tuple:
+    """Identity of a function set's operator *implementations*.
+
+    Structural keys identify operators by name only, which is unambiguous
+    within one function set but not across sets: two runs could both name an
+    operator ``"inv"`` yet bind different implementations.  A shared column
+    cache therefore namespaces by this fingerprint too -- operator names
+    plus the module/qualname of their implementations -- so runs only share
+    columns when same-named operators mean the same computation.
+    """
+    entries = []
+    for op in function_set.unary + function_set.binary:
+        implementation = op.implementation
+        entries.append((op.name, op.arity,
+                        getattr(implementation, "__module__", ""),
+                        getattr(implementation, "__qualname__",
+                                repr(implementation))))
+    return tuple(sorted(entries))
 
 
 @dataclasses.dataclass
@@ -131,6 +194,218 @@ class BasisColumnCache:
         self._columns.clear()
 
 
+class GramPool:
+    """Cross-generation pool of canonical normal-equation scalars.
+
+    Per basis column (identified by structural key) the pool caches the
+    column sum, the column--target dot and a finiteness flag; per unordered
+    *pair* of columns it caches the dot product (diagonal pairs double as
+    the squared norms the fit's column scaling needs).  Every scalar is
+    computed through :func:`repro.regression.least_squares.pair_dots` --
+    whose batched results are bit-for-bit independent of batch composition
+    -- so a gram gathered here is exactly the gram ``fit_linear`` would
+    compute from the assembled basis matrix, no matter when or in which
+    batch each entry was first produced.
+
+    Crossover and mutation mostly reshuffle existing basis functions, so
+    after warm-up the pool serves nearly all pair lookups from cache; an
+    offspring that differs from its parent by one column needs only ``k``
+    fresh pair dots (new column x each retained column) rather than a full
+    ``k^2`` gram -- the incremental "rank-1 update" regime, realized as
+    cache hits instead of explicit factor updates.
+
+    Column identities are interned to integer ids so pair keys stay small;
+    evicting a column orphans its pairs, which then age out of the pair LRU
+    naturally.
+    """
+
+    def __init__(self, y: np.ndarray, max_pairs: int = 200000) -> None:
+        if max_pairs < 0:
+            raise ValueError("max_pairs must be non-negative")
+        y = np.ascontiguousarray(np.asarray(y, dtype=float).ravel())
+        self._y_row = y[None, :]
+        self.max_pairs = int(max_pairs)
+        #: columns are cheap (four scalars each) -- cap them at the pair
+        #: budget so the two LRUs age out together
+        self.max_columns = max(1, int(max_pairs))
+        #: structural key -> [id, colsum, ydot, finite]
+        self._columns: "OrderedDict[Tuple, list]" = OrderedDict()
+        self._pairs: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
+        self._next_id = 0
+        self.n_singles_computed = 0
+        self.n_pairs_computed = 0
+        self.n_pair_requests = 0
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    @property
+    def pair_hit_rate(self) -> float:
+        """Fraction of pair lookups served without a fresh dot product."""
+        if self.n_pair_requests == 0:
+            return 0.0
+        return 1.0 - self.n_pairs_computed / self.n_pair_requests
+
+    # ------------------------------------------------------------------
+    def prepare(self, individuals_columns: Sequence[Sequence[Tuple[Tuple, np.ndarray]]]
+                ) -> None:
+        """Batch-compute every scalar the given individuals will need.
+
+        ``individuals_columns`` holds, per individual, its ``(structural
+        key, evaluated column)`` sequence.  Missing column stats and missing
+        pair dots across the whole batch are each computed in a single
+        vectorized :func:`pair_dots`-recipe call -- the generation-level
+        GEMM-like step that replaces per-fit passes over ``n_samples``.
+        """
+        missing: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        for columns in individuals_columns:
+            for key, column in columns:
+                if key not in self._columns and key not in missing:
+                    missing[key] = column
+        if missing:
+            self._compute_singles(missing)
+
+        pair_keys: List[Tuple[int, int]] = []
+        rows_a: List[np.ndarray] = []
+        rows_b: List[np.ndarray] = []
+        queued = set()
+        # Recency refreshes are LRU hygiene: they only matter once the pool
+        # could actually evict.  Below half capacity (the steady state for
+        # default sizes) they are tens of thousands of pure-overhead
+        # OrderedDict moves per generation, so skip them.
+        refresh_columns = len(self._columns) > self.max_columns // 2
+        refresh_pairs = len(self._pairs) > self.max_pairs // 2
+        for columns in individuals_columns:
+            ids = []
+            for key, column in columns:
+                entry = self._columns.get(key)
+                if entry is None:
+                    # Evicted within this very batch (pool smaller than the
+                    # batch's unique columns): recompute and re-register so
+                    # the pairs queued below stay reachable at gather time
+                    # (an anonymous id would orphan them in the pair LRU).
+                    entry = self._single_statistics(column)
+                    self._columns[key] = entry
+                    while len(self._columns) > self.max_columns:
+                        self._columns.popitem(last=False)
+                elif refresh_columns:
+                    self._columns.move_to_end(key)
+                ids.append((entry[0], column))
+            for a, (id_a, col_a) in enumerate(ids):
+                for id_b, col_b in ids[a:]:
+                    pair = (id_a, id_b) if id_a <= id_b else (id_b, id_a)
+                    if pair in self._pairs:
+                        if refresh_pairs:
+                            # Refresh recency so a nearly-full pool never
+                            # evicts the batch's own working set while
+                            # inserting its fresh pairs.
+                            self._pairs.move_to_end(pair)
+                        continue
+                    if pair in queued:
+                        continue
+                    queued.add(pair)
+                    pair_keys.append(pair)
+                    rows_a.append(col_a)
+                    rows_b.append(col_b)
+        if pair_keys:
+            dots = pair_dots(np.stack(rows_a), np.stack(rows_b))
+            self.n_pairs_computed += len(pair_keys)
+            for pair, value in zip(pair_keys, dots):
+                self._pairs[pair] = float(value)
+            while len(self._pairs) > self.max_pairs:
+                self._pairs.popitem(last=False)
+
+    def statistics_for(self, columns: Sequence[Tuple[Tuple, np.ndarray]]
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, bool]:
+        """``(gram, colsums, ydots, all_finite)`` for one individual.
+
+        Missing scalars are computed (and cached) on demand, so this is
+        correct standalone; inside ``evaluate_population`` the batched
+        :meth:`prepare` has already run and this is a pure gather.  The
+        gathered gram is bit-for-bit the raw gram of the stacked columns.
+        """
+        k = len(columns)
+        gram = np.empty((k, k))
+        colsums = np.empty(k)
+        ydots = np.empty(k)
+        finite = self.gather_into(columns, gram, colsums, ydots)
+        return gram, colsums, ydots, finite
+
+    def gather_into(self, columns: Sequence[Tuple[Tuple, np.ndarray]],
+                    gram_out: np.ndarray, colsums_out: np.ndarray,
+                    ydots_out: np.ndarray) -> bool:
+        """Gather one individual's statistics into preallocated arrays.
+
+        Returns whether every column is finite.  ``gram_out`` may be one
+        slice of a same-width group's ``(m, k, k)`` stack, which is how the
+        batched fit path avoids a copy per individual.  Missing scalars are
+        computed (and cached) inline with the canonical recipe, so the
+        gather is correct even without a prior :meth:`prepare`.  LRU
+        recency is deliberately *not* refreshed here: in the batched path
+        :meth:`prepare` just touched every entry this gather reads, and the
+        (rare) standalone path tolerates insertion-order aging.
+        """
+        k = len(columns)
+        ids = []
+        finite = True
+        for position, (key, column) in enumerate(columns):
+            entry = self._columns.get(key)
+            if entry is None:
+                # Unseen (standalone call) or evicted column: compute with
+                # the same canonical recipe -- the value is identical either
+                # way -- and cache it for the next lookup.
+                entry = self._single_statistics(column)
+                self._columns[key] = entry
+                while len(self._columns) > self.max_columns:
+                    self._columns.popitem(last=False)
+            ids.append(entry[0])
+            colsums_out[position] = entry[1]
+            ydots_out[position] = entry[2]
+            finite = finite and entry[3]
+        pairs = self._pairs
+        self.n_pair_requests += k * (k + 1) // 2
+        for a in range(k):
+            id_a = ids[a]
+            for b in range(a, k):
+                id_b = ids[b]
+                pair = (id_a, id_b) if id_a <= id_b else (id_b, id_a)
+                value = pairs.get(pair)
+                if value is None:
+                    value = float(pair_dots(columns[a][1][None, :],
+                                            columns[b][1][None, :])[0])
+                    self.n_pairs_computed += 1
+                    pairs[pair] = value
+                    while len(pairs) > self.max_pairs:
+                        pairs.popitem(last=False)
+                gram_out[a, b] = value
+                gram_out[b, a] = value
+        return finite
+
+    # ------------------------------------------------------------------
+    def _single_statistics(self, column: np.ndarray) -> list:
+        """Uncached per-column stats (canonical recipe, fresh id)."""
+        row = column[None, :]
+        entry = [self._next_id, float(row.sum(axis=1)[0]),
+                 float((row * self._y_row).sum(axis=1)[0]),
+                 bool(np.isfinite(row).all(axis=1)[0])]
+        self._next_id += 1
+        self.n_singles_computed += 1
+        return entry
+
+    def _compute_singles(self, missing: "OrderedDict[Tuple, np.ndarray]") -> None:
+        rows = np.stack(list(missing.values()))
+        colsums = rows.sum(axis=1)
+        ydots = (rows * self._y_row).sum(axis=1)
+        finite = np.isfinite(rows).all(axis=1)
+        self.n_singles_computed += len(missing)
+        for position, key in enumerate(missing):
+            self._columns[key] = [self._next_id, float(colsums[position]),
+                                  float(ydots[position]), bool(finite[position])]
+            self._next_id += 1
+        while len(self._columns) > self.max_columns:
+            self._columns.popitem(last=False)
+
+
 def evaluate_individual_inplace(individual: Individual, X: np.ndarray,
                                 y: np.ndarray, settings: CaffeineSettings,
                                 basis_matrix: Optional[np.ndarray] = None,
@@ -203,6 +478,23 @@ class PopulationEvaluator:
             else BasisColumnCache(self.settings.basis_cache_size)
         self.normalization = error_normalization(self.y)
         self._backend = self.settings.evaluation_backend
+        #: column-cache key prefix: evaluators on byte-identical X *and* an
+        #: implementation-identical function set share cached columns
+        #: through a common cache; different data or differently-bound
+        #: operator names never collide (see :func:`dataset_fingerprint`
+        #: and :func:`function_set_fingerprint`)
+        self.dataset_key = (dataset_fingerprint(self.X),
+                            function_set_fingerprint(
+                                self.settings.function_set))
+        #: gram-pool fit path (see :class:`GramPool`); ``fit_backend="direct"``
+        #: or a zero pool size falls back to per-individual ``fit_linear``
+        self._use_gram = (self.settings.fit_backend == "gram"
+                          and self.settings.gram_pool_size > 0)
+        self.gram_pool: Optional[GramPool] = (
+            GramPool(self.y, self.settings.gram_pool_size)
+            if self._use_gram else None)
+        self._y_sum = float(self.y.sum())
+        self._y_finite = bool(np.isfinite(self.y).all())
         #: total number of individual evaluations performed (for benchmarks)
         self.n_evaluated = 0
         #: column-level accounting: how many basis-column lookups were made
@@ -217,6 +509,9 @@ class PopulationEvaluator:
         #: keys prefilled by the current batch; their first assembly lookup is
         #: accounted as a computation, not a cache hit (see _column_for)
         self._fresh_keys: set = set()
+        #: batch-local precomputed gram fits keyed by basis-key tuple (or
+        #: individual id when the fit cache is off); see _batch_gram_fits
+        self._batch_fit_results: Dict = {}
         #: batch-local overlay of prefilled columns, consulted before the LRU
         #: so that a cache smaller than one batch (or a disabled cache) never
         #: forces recomputation within the batch that just computed a column
@@ -287,6 +582,12 @@ class PopulationEvaluator:
             pending = keyed
         try:
             self._prefill_columns(pending)
+            if self._use_gram and pending:
+                # One vectorized pass computes every missing normal-equation
+                # scalar of the generation, then one stacked LAPACK call per
+                # basis width solves all fresh fits; the per-individual loop
+                # below only distributes the precomputed results.
+                self._batch_gram_fits(pending)
             for individual, keys in keyed:
                 self._evaluate_with_keys(individual, keys)
         finally:
@@ -296,6 +597,7 @@ class PopulationEvaluator:
             # calls' guarantee of a disabled cache.
             self._fresh_keys.clear()
             self._batch_columns.clear()
+            self._batch_fit_results.clear()
         return individuals
 
     # ------------------------------------------------------------------
@@ -310,11 +612,11 @@ class PopulationEvaluator:
                 self._fresh_keys.discard(key)
                 self.n_columns_computed += 1
             return column
-        column = self.cache.get(key)
+        column = self.cache.get((self.dataset_key, key))
         if column is None:
             column = evaluate_basis_column(basis, self.X)
             self.n_columns_computed += 1
-            self.cache.put(key, column)
+            self.cache.put((self.dataset_key, key), column)
         return column
 
     def _matrix_from_keys(self, keys: List[Tuple],
@@ -364,18 +666,149 @@ class PopulationEvaluator:
                 individual.normalization = self.normalization
                 return individual
         self.n_fits_computed += 1
-        evaluate_individual_inplace(
-            individual, self.X, self.y, self.settings,
-            basis_matrix=self._matrix_from_keys(basis_keys, individual.bases),
-            normalization=self.normalization,
-            complexity=self._complexity_from_keys(basis_keys, individual.bases),
-        )
+        if self._use_gram:
+            batch_key = fit_key if fit_key is not None else id(individual)
+            precomputed = self._batch_fit_results.get(batch_key)
+            if precomputed is not None:
+                # Sharing one frozen LinearFit across structurally identical
+                # individuals mirrors what the fit cache already does.
+                fit, error = precomputed
+                individual.complexity = self._complexity_from_keys(
+                    basis_keys, individual.bases)
+                individual.normalization = self.normalization
+                individual.fit = fit
+                individual.error = error
+            else:
+                self._evaluate_with_gram(individual, basis_keys)
+        else:
+            evaluate_individual_inplace(
+                individual, self.X, self.y, self.settings,
+                basis_matrix=self._matrix_from_keys(basis_keys, individual.bases),
+                normalization=self.normalization,
+                complexity=self._complexity_from_keys(basis_keys, individual.bases),
+            )
         if fit_key is not None:
             self._fit_cache[fit_key] = (individual.fit, individual.error,
                                         individual.complexity)
             while len(self._fit_cache) > self.cache.max_entries:
                 self._fit_cache.popitem(last=False)
         return individual
+
+    def _evaluate_with_gram(self, individual: Individual,
+                            basis_keys: List[Tuple]) -> Individual:
+        """Gram-pool fit: gather normal equations, small solve, score.
+
+        Mirrors :func:`evaluate_individual_inplace` step for step -- same
+        complexity, normalization, feasibility decision, fit and error, each
+        produced by a bit-for-bit equivalent recipe -- but the only
+        ``n_samples``-long work left is assembling the basis matrix for the
+        final prediction/residual pass.
+        """
+        bases = individual.bases
+        individual.complexity = self._complexity_from_keys(basis_keys, bases)
+        individual.normalization = self.normalization
+        columns = [self._column_for(key, basis)
+                   for key, basis in zip(basis_keys, bases)]
+        gram, colsums, ydots, finite = self.gram_pool.statistics_for(
+            list(zip(basis_keys, columns)))
+        if not (finite and self._y_finite):
+            # Exactly fit_linear's non-finite rejection, decided from the
+            # pool's per-column finite flags instead of a full-matrix scan.
+            individual.fit = None
+            individual.error = float("inf")
+            return individual
+        if columns:
+            basis_matrix = np.column_stack(columns)
+        else:
+            basis_matrix = np.zeros((self.X.shape[0], 0))
+        fit = fit_linear_from_gram(gram, colsums, ydots, self._y_sum,
+                                   basis_matrix, self.y)
+        if fit is None:
+            individual.fit = None
+            individual.error = float("inf")
+            return individual
+        individual.fit = fit
+        predictions = fit.predict(basis_matrix)
+        individual.error = relative_rmse(self.y, predictions,
+                                         individual.normalization)
+        return individual
+
+    def _batch_gram_fits(self, pending: Sequence[Tuple[Individual, List[Tuple]]]
+                         ) -> None:
+        """Solve the batch's unique fresh fits in stacked LAPACK calls.
+
+        Pending individuals are deduplicated by basis-key tuple (duplicates
+        share one fit, exactly as the fit cache would have arranged) and
+        their ``(key, column)`` sequences are built once -- shared by the
+        pool's batched :meth:`GramPool.prepare` and the per-group gathers
+        below.  Each same-basis-count group's normal equations are then
+        solved by one
+        :func:`~repro.regression.least_squares.fit_linear_from_gram_batch`
+        call.  Results land in ``_batch_fit_results`` for the per-individual
+        loop to distribute -- every value bit-for-bit what the scalar path
+        would have produced.
+        """
+        groups: Dict[int, List[Tuple]] = {}
+        queued = set()
+        prepared_columns = []
+        for individual, keys in pending:
+            batch_key = tuple(keys) if self.cache.max_entries > 0 \
+                else id(individual)
+            if batch_key in queued or not keys:
+                # Duplicates share the first occurrence's fit; empty
+                # individuals take the (cheap) scalar intercept-only path.
+                continue
+            queued.add(batch_key)
+            keyed_columns = [(key, self._column_for(key, basis))
+                             for key, basis in zip(keys, individual.bases)]
+            prepared_columns.append(keyed_columns)
+            groups.setdefault(len(keys), []).append(
+                (batch_key, keyed_columns))
+        if not groups:
+            return
+        self.gram_pool.prepare(prepared_columns)
+        for n_bases, items in groups.items():
+            n_items = len(items)
+            grams = np.empty((n_items, n_bases, n_bases))
+            colsums = np.empty((n_items, n_bases))
+            ydots = np.empty((n_items, n_bases))
+            basis_matrices = []
+            finite_rows = np.empty(n_items, dtype=bool)
+            for position, (batch_key, keyed_columns) in enumerate(items):
+                finite_rows[position] = self.gram_pool.gather_into(
+                    keyed_columns, grams[position], colsums[position],
+                    ydots[position])
+                basis_matrices.append(np.column_stack(
+                    [column for _key, column in keyed_columns]))
+            if not self._y_finite:
+                finite_rows[:] = False
+            if finite_rows.all():
+                solvable = np.arange(n_items)
+            else:
+                # Non-finite items would poison the stacked LAPACK calls;
+                # they are infeasible by fit_linear's rules anyway.
+                solvable = np.flatnonzero(finite_rows)
+                for position in np.flatnonzero(~finite_rows):
+                    self._batch_fit_results[items[position][0]] = \
+                        (None, float("inf"))
+                if solvable.size == 0:
+                    continue
+                grams = grams[solvable]
+                colsums = colsums[solvable]
+                ydots = ydots[solvable]
+            solvable_matrices = [basis_matrices[i] for i in solvable]
+            fits = fit_linear_from_gram_batch(grams, colsums, ydots,
+                                              self._y_sum, solvable_matrices,
+                                              self.y)
+            for position, fit, basis_matrix in zip(solvable, fits,
+                                                   solvable_matrices):
+                batch_key = items[position][0]
+                if fit is None:
+                    self._batch_fit_results[batch_key] = (None, float("inf"))
+                    continue
+                predictions = fit.predict(basis_matrix)
+                error = relative_rmse(self.y, predictions, self.normalization)
+                self._batch_fit_results[batch_key] = (fit, error)
 
     # ------------------------------------------------------------------
     def _prefill_columns(self, keyed: Sequence[Tuple[Individual, List[Tuple]]]
@@ -390,7 +823,7 @@ class PopulationEvaluator:
         for individual, keys in keyed:
             for key, basis in zip(keys, individual.bases):
                 if key not in missing and key not in self._batch_columns \
-                        and key not in self.cache:
+                        and (self.dataset_key, key) not in self.cache:
                     missing[key] = basis
         if not missing:
             return
@@ -403,18 +836,19 @@ class PopulationEvaluator:
         self._fresh_keys.update(keys)
         for key, column in zip(keys, columns):
             self._batch_columns[key] = column
-            self.cache.put(key, column)
+            self.cache.put((self.dataset_key, key), column)
 
     def _compute_columns(self, bases: List[ProductTerm]) -> List[np.ndarray]:
         if self._backend == "serial" or len(bases) < 2:
             return [evaluate_basis_column(basis, self.X) for basis in bases]
         if self._backend == "process":
             # map() preserves input order, so results line up with `bases`
-            # regardless of completion order.  Pickling failures (the default
-            # function set stores lambdas, which cannot cross a process
-            # boundary) degrade permanently to the thread backend; a genuine
-            # worker-side error of the same exception type is disambiguated
-            # by probing picklability directly and re-raised unmasked.
+            # regardless of completion order.  Pickling failures (custom
+            # function sets built from lambdas cannot cross a process
+            # boundary; the default set pickles fine) degrade permanently to
+            # the thread backend; a genuine worker-side error of the same
+            # exception type is disambiguated by probing picklability
+            # directly and re-raised unmasked.
             try:
                 return list(self._get_executor().map(_column_task, bases))
             except (pickle.PicklingError, TypeError, AttributeError):
@@ -428,8 +862,8 @@ class PopulationEvaluator:
                     raise
                 warnings.warn(
                     "evaluation_backend='process' requires picklable "
-                    "expression trees (the default function set uses "
-                    "lambdas); falling back to the thread backend",
+                    "expression trees (custom operators built from lambdas "
+                    "are not); falling back to the thread backend",
                     RuntimeWarning, stacklevel=4)
                 self._shutdown_executor()
                 self._backend = "thread"

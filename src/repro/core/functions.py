@@ -4,7 +4,10 @@ The paper's experimental setup allows the single-input operators
 ``sqrt, ln, log10, 1/x, abs, x^2, sin, cos, tan, max(0,x), min(0,x), 2^x,
 10^x`` and the double-input operators ``+, *, max, min, pow, /``, plus an
 ``lte`` conditional.  Each operator is described by an :class:`Operator`
-record carrying a vectorized NumPy implementation and a formatting template;
+record carrying a vectorized NumPy implementation (a module-level named
+function, so operators -- and the expression trees that embed them --
+survive ``pickle`` and can cross process boundaries) and a formatting
+template;
 :class:`FunctionSet` is the designer-facing collection, which can be
 restricted ("the designer can turn off any of the rules") -- e.g. to
 rationals only, or to exclude trigonometric functions.
@@ -64,6 +67,43 @@ class Operator:
         return self.template.format(*rendered_args)
 
 
+# Operator implementations are module-level named functions (not lambdas) so
+# that Operator records -- and therefore whole expression trees -- pickle by
+# reference.  This is what lets ``evaluation_backend="process"`` ship basis
+# trees to worker processes instead of silently degrading to threads.
+
+def _sqrt(x: np.ndarray) -> np.ndarray:
+    return np.sqrt(x)
+
+
+def _ln(x: np.ndarray) -> np.ndarray:
+    return np.log(x)
+
+
+def _log10(x: np.ndarray) -> np.ndarray:
+    return np.log10(x)
+
+
+def _inv(x: np.ndarray) -> np.ndarray:
+    return 1.0 / x
+
+
+def _abs(x: np.ndarray) -> np.ndarray:
+    return np.abs(x)
+
+
+def _square(x: np.ndarray) -> np.ndarray:
+    return np.square(x)
+
+
+def _sin(x: np.ndarray) -> np.ndarray:
+    return np.sin(x)
+
+
+def _cos(x: np.ndarray) -> np.ndarray:
+    return np.cos(x)
+
+
 def _protected_tan(x: np.ndarray) -> np.ndarray:
     result = np.tan(x)
     # Large magnitudes near the poles are left as-is; the evaluation layer
@@ -71,32 +111,72 @@ def _protected_tan(x: np.ndarray) -> np.ndarray:
     return result
 
 
+def _max0(x: np.ndarray) -> np.ndarray:
+    return np.maximum(0.0, x)
+
+
+def _min0(x: np.ndarray) -> np.ndarray:
+    return np.minimum(0.0, x)
+
+
+def _exp2(x: np.ndarray) -> np.ndarray:
+    return np.power(2.0, x)
+
+
+def _exp10(x: np.ndarray) -> np.ndarray:
+    return np.power(10.0, x)
+
+
+def _add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a + b
+
+
+def _mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a * b
+
+
+def _max(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.maximum(a, b)
+
+
+def _min(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.minimum(a, b)
+
+
+def _pow(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.power(a, b)
+
+
+def _div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a / b
+
+
 UNARY_OPERATORS: Dict[str, Operator] = {
     op.name: op for op in (
-        Operator("sqrt", 1, lambda x: np.sqrt(x), "sqrt({0})", "SQRT"),
-        Operator("ln", 1, lambda x: np.log(x), "ln({0})", "LOGE"),
-        Operator("log10", 1, lambda x: np.log10(x), "log10({0})", "LOG10"),
-        Operator("inv", 1, lambda x: 1.0 / x, "1 / ({0})", "INV"),
-        Operator("abs", 1, lambda x: np.abs(x), "abs({0})", "ABS"),
-        Operator("square", 1, lambda x: np.square(x), "({0})^2", "SQUARE"),
-        Operator("sin", 1, lambda x: np.sin(x), "sin({0})", "SIN"),
-        Operator("cos", 1, lambda x: np.cos(x), "cos({0})", "COS"),
+        Operator("sqrt", 1, _sqrt, "sqrt({0})", "SQRT"),
+        Operator("ln", 1, _ln, "ln({0})", "LOGE"),
+        Operator("log10", 1, _log10, "log10({0})", "LOG10"),
+        Operator("inv", 1, _inv, "1 / ({0})", "INV"),
+        Operator("abs", 1, _abs, "abs({0})", "ABS"),
+        Operator("square", 1, _square, "({0})^2", "SQUARE"),
+        Operator("sin", 1, _sin, "sin({0})", "SIN"),
+        Operator("cos", 1, _cos, "cos({0})", "COS"),
         Operator("tan", 1, _protected_tan, "tan({0})", "TAN"),
-        Operator("max0", 1, lambda x: np.maximum(0.0, x), "max(0, {0})", "MAX0"),
-        Operator("min0", 1, lambda x: np.minimum(0.0, x), "min(0, {0})", "MIN0"),
-        Operator("exp2", 1, lambda x: np.power(2.0, x), "2^({0})", "POW2"),
-        Operator("exp10", 1, lambda x: np.power(10.0, x), "10^({0})", "POW10"),
+        Operator("max0", 1, _max0, "max(0, {0})", "MAX0"),
+        Operator("min0", 1, _min0, "min(0, {0})", "MIN0"),
+        Operator("exp2", 1, _exp2, "2^({0})", "POW2"),
+        Operator("exp10", 1, _exp10, "10^({0})", "POW10"),
     )
 }
 
 BINARY_OPERATORS: Dict[str, Operator] = {
     op.name: op for op in (
-        Operator("add", 2, lambda a, b: a + b, "({0} + {1})", "ADD"),
-        Operator("mul", 2, lambda a, b: a * b, "({0} * {1})", "MUL"),
-        Operator("max", 2, lambda a, b: np.maximum(a, b), "max({0}, {1})", "MAX"),
-        Operator("min", 2, lambda a, b: np.minimum(a, b), "min({0}, {1})", "MIN"),
-        Operator("pow", 2, lambda a, b: np.power(a, b), "({0})^({1})", "POW"),
-        Operator("div", 2, lambda a, b: a / b, "({0}) / ({1})", "DIVIDE"),
+        Operator("add", 2, _add, "({0} + {1})", "ADD"),
+        Operator("mul", 2, _mul, "({0} * {1})", "MUL"),
+        Operator("max", 2, _max, "max({0}, {1})", "MAX"),
+        Operator("min", 2, _min, "min({0}, {1})", "MIN"),
+        Operator("pow", 2, _pow, "({0})^({1})", "POW"),
+        Operator("div", 2, _div, "({0}) / ({1})", "DIVIDE"),
     )
 }
 

@@ -9,7 +9,7 @@ and the tournament-based parent selection.
 
 from __future__ import annotations
 
-from typing import List, Protocol, Sequence, Tuple, TypeVar
+from typing import List, Optional, Protocol, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -47,27 +47,34 @@ class RankedIndividual:
         return self.crowding > other.crowding
 
 
-def rank_population(population: Sequence[T]) -> List[RankedIndividual]:
-    """Assign nondomination rank and crowding distance to every individual."""
+def rank_population(population: Sequence[T],
+                    backend: Optional[str] = None) -> List[RankedIndividual]:
+    """Assign nondomination rank and crowding distance to every individual.
+
+    ``backend`` selects the Pareto-kernel implementation (see
+    :mod:`repro.core.pareto`); the engine threads
+    ``CaffeineSettings.pareto_backend`` through here.  Results are identical
+    either way.
+    """
     vectors = [tuple(ind.objectives) for ind in population]
-    fronts = fast_nondominated_sort(vectors)
+    fronts = fast_nondominated_sort(vectors, backend=backend)
     ranked: List[RankedIndividual] = [None] * len(population)  # type: ignore[list-item]
     for rank, front in enumerate(fronts):
         front_vectors = [vectors[i] for i in front]
-        crowding = crowding_distances(front_vectors)
+        crowding = crowding_distances(front_vectors, backend=backend)
         for position, index in enumerate(front):
             ranked[index] = RankedIndividual(population[index], rank,
                                              crowding[position])
     return ranked
 
 
-def environmental_selection(population: Sequence[T], target_size: int
-                            ) -> List[T]:
+def environmental_selection(population: Sequence[T], target_size: int,
+                            backend: Optional[str] = None) -> List[T]:
     """NSGA-II survivor selection: fill by fronts, truncate by crowding."""
     if target_size < 1:
         raise ValueError("target_size must be >= 1")
     vectors = [tuple(ind.objectives) for ind in population]
-    fronts = fast_nondominated_sort(vectors)
+    fronts = fast_nondominated_sort(vectors, backend=backend)
     survivors: List[T] = []
     for front in fronts:
         if len(survivors) + len(front) <= target_size:
@@ -77,7 +84,7 @@ def environmental_selection(population: Sequence[T], target_size: int
             continue
         # Partial front: keep the most spread-out individuals.
         front_vectors = [vectors[i] for i in front]
-        crowding = crowding_distances(front_vectors)
+        crowding = crowding_distances(front_vectors, backend=backend)
         order = sorted(range(len(front)), key=lambda k: crowding[k], reverse=True)
         remaining = target_size - len(survivors)
         survivors.extend(population[front[k]] for k in order[:remaining])

@@ -4,17 +4,56 @@ Shared by the NSGA-II selection machinery and by the post-processing steps
 that filter models down to the trade-off of training error vs. complexity and
 later of *testing* error vs. complexity (the rightmost column of the paper's
 Figure 3).
+
+Two interchangeable backends implement every kernel:
+
+* ``"numpy"`` (the default) -- broadcasting implementations that build the
+  pairwise domination matrix in vectorized chunks; this is what lets the
+  engine scale ``population_size`` without the ranking step going
+  quadratic-in-pure-Python (Deb's sort is O(N^2 M) either way, but the
+  constant drops by two orders of magnitude);
+* ``"python"`` -- the original pure-Python reference, kept as the oracle for
+  the property-based equivalence tests.
+
+Both backends return *identical* results: fronts are canonicalized to
+ascending index order (a front is a set; ascending order is the
+deterministic choice), crowding distances are computed with the same
+floating-point operations in the same order, and ``inf`` objectives (the
+engine's marker for infeasible individuals) follow IEEE comparison semantics
+in both.  NaN objectives are not supported -- the engine never produces them
+(errors are finite or exactly ``inf``), and the two backends' sorts would
+disagree on NaN placement.
+
+The module-level default backend is ``"numpy"``; pass ``backend=`` to pin a
+specific one (the engine threads ``CaffeineSettings.pareto_backend``
+through).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["dominates", "nondominated_indices", "nondominated_filter",
-           "fast_nondominated_sort", "crowding_distances"]
+import numpy as np
+
+__all__ = ["PARETO_BACKENDS", "dominates", "nondominated_indices",
+           "nondominated_filter", "fast_nondominated_sort",
+           "crowding_distances"]
 
 T = TypeVar("T")
 Objectives = Tuple[float, ...]
+
+#: Recognized values for the ``backend`` argument of every kernel.
+PARETO_BACKENDS = ("numpy", "python")
+
+_DEFAULT_BACKEND = "numpy"
+
+
+def _resolve_backend(backend: Optional[str]) -> str:
+    resolved = _DEFAULT_BACKEND if backend is None else backend
+    if resolved not in PARETO_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {PARETO_BACKENDS}, got {resolved!r}")
+    return resolved
 
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
@@ -26,8 +65,37 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     return at_least_as_good and strictly_better
 
 
-def nondominated_indices(objective_vectors: Sequence[Sequence[float]]) -> List[int]:
-    """Indices of the nondominated vectors (the Pareto front)."""
+def _objective_array(objective_vectors: Sequence[Sequence[float]]) -> np.ndarray:
+    """The vectors as a float ``(n, m)`` array (raises on ragged input)."""
+    array = np.asarray([tuple(v) for v in objective_vectors], dtype=float)
+    if array.ndim == 1:
+        # Zero-length objective vectors: asarray of empty tuples collapses.
+        array = array.reshape(len(objective_vectors), 0)
+    return array
+
+
+def _domination_matrix(vectors: np.ndarray) -> np.ndarray:
+    """Boolean ``D`` with ``D[i, j]`` true when ``i`` dominates ``j``.
+
+    Built in row chunks so the broadcast temporaries stay bounded (a few MB)
+    for the multi-thousand-point populations the benchmarks exercise.
+    """
+    n, n_objectives = vectors.shape
+    matrix = np.empty((n, n), dtype=bool)
+    chunk = max(1, 4_000_000 // max(1, n * max(1, n_objectives)))
+    for start in range(0, n, chunk):
+        block = vectors[start:start + chunk, None, :]
+        not_worse = (block <= vectors[None, :, :]).all(axis=-1)
+        strictly_better = (block < vectors[None, :, :]).any(axis=-1)
+        matrix[start:start + chunk] = not_worse & strictly_better
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# nondominated indices / filter
+# ----------------------------------------------------------------------
+def _nondominated_indices_python(
+        objective_vectors: Sequence[Sequence[float]]) -> List[int]:
     n = len(objective_vectors)
     result = []
     for i in range(n):
@@ -41,21 +109,31 @@ def nondominated_indices(objective_vectors: Sequence[Sequence[float]]) -> List[i
     return result
 
 
+def nondominated_indices(objective_vectors: Sequence[Sequence[float]],
+                         backend: Optional[str] = None) -> List[int]:
+    """Indices of the nondominated vectors (the Pareto front), ascending."""
+    if _resolve_backend(backend) == "python":
+        return _nondominated_indices_python(objective_vectors)
+    if len(objective_vectors) == 0:
+        return []
+    matrix = _domination_matrix(_objective_array(objective_vectors))
+    return [int(i) for i in np.flatnonzero(matrix.sum(axis=0) == 0)]
+
+
 def nondominated_filter(items: Sequence[T],
-                        key: Callable[[T], Sequence[float]]) -> List[T]:
+                        key: Callable[[T], Sequence[float]],
+                        backend: Optional[str] = None) -> List[T]:
     """Return the items whose ``key(item)`` objective vectors are nondominated."""
     vectors = [tuple(key(item)) for item in items]
-    keep = set(nondominated_indices(vectors))
+    keep = set(nondominated_indices(vectors, backend=backend))
     return [item for index, item in enumerate(items) if index in keep]
 
 
-def fast_nondominated_sort(objective_vectors: Sequence[Sequence[float]]
-                           ) -> List[List[int]]:
-    """Deb's fast nondominated sort: list of fronts (lists of indices).
-
-    Front 0 is the Pareto front; each subsequent front is nondominated once
-    all previous fronts are removed.
-    """
+# ----------------------------------------------------------------------
+# fast nondominated sort
+# ----------------------------------------------------------------------
+def _fast_nondominated_sort_python(
+        objective_vectors: Sequence[Sequence[float]]) -> List[List[int]]:
     n = len(objective_vectors)
     dominated_by: List[List[int]] = [[] for _ in range(n)]
     domination_count = [0] * n
@@ -80,14 +158,51 @@ def fast_nondominated_sort(objective_vectors: Sequence[Sequence[float]]
                 domination_count[j] -= 1
                 if domination_count[j] == 0:
                     next_front.append(j)
+        # Canonical ascending order (fronts are sets; the discovery order of
+        # the peeling loop is an implementation accident the vectorized
+        # backend should not have to replicate).
+        next_front.sort()
         current += 1
         fronts.append(next_front)
     fronts.pop()  # last front is always empty
     return fronts
 
 
-def crowding_distances(objective_vectors: Sequence[Sequence[float]]) -> List[float]:
-    """Crowding distance of each vector within its (single) front."""
+def _fast_nondominated_sort_numpy(vectors: np.ndarray) -> List[List[int]]:
+    n = vectors.shape[0]
+    matrix = _domination_matrix(vectors)
+    counts = matrix.sum(axis=0).astype(np.int64)
+    unassigned = np.ones(n, dtype=bool)
+    fronts: List[List[int]] = []
+    while True:
+        front = np.flatnonzero(unassigned & (counts == 0))
+        if front.size == 0:
+            break
+        fronts.append([int(i) for i in front])
+        unassigned[front] = False
+        counts -= matrix[front].sum(axis=0)
+    return fronts
+
+
+def fast_nondominated_sort(objective_vectors: Sequence[Sequence[float]],
+                           backend: Optional[str] = None) -> List[List[int]]:
+    """Deb's fast nondominated sort: list of fronts (ascending index lists).
+
+    Front 0 is the Pareto front; each subsequent front is nondominated once
+    all previous fronts are removed.
+    """
+    if _resolve_backend(backend) == "python":
+        return _fast_nondominated_sort_python(objective_vectors)
+    if len(objective_vectors) == 0:
+        return []
+    return _fast_nondominated_sort_numpy(_objective_array(objective_vectors))
+
+
+# ----------------------------------------------------------------------
+# crowding distances
+# ----------------------------------------------------------------------
+def _crowding_distances_python(
+        objective_vectors: Sequence[Sequence[float]]) -> List[float]:
     n = len(objective_vectors)
     if n == 0:
         return []
@@ -107,3 +222,36 @@ def crowding_distances(objective_vectors: Sequence[Sequence[float]]) -> List[flo
             next_value = objective_vectors[order[position + 1]][m]
             distances[order[position]] += (next_value - previous_value) / span
     return distances
+
+
+def _crowding_distances_numpy(vectors: np.ndarray) -> List[float]:
+    n = vectors.shape[0]
+    distances = np.zeros(n)
+    for m in range(vectors.shape[1]):
+        column = vectors[:, m]
+        # kind="stable" ties resolve to original order, matching Python's
+        # Timsort on the same keys (signed zeros compare equal in both).
+        order = np.argsort(column, kind="stable")
+        column_sorted = column[order]
+        distances[order[0]] = np.inf
+        distances[order[-1]] = np.inf
+        span = float(column_sorted[-1]) - float(column_sorted[0])
+        if span <= 0 or not (span < float("inf")):
+            continue
+        if n > 2:
+            # Same per-element arithmetic as the reference: the gap between
+            # each point's sorted neighbours, normalized by the span, summed
+            # objective by objective in the same order.
+            distances[order[1:-1]] += \
+                (column_sorted[2:] - column_sorted[:-2]) / span
+    return [float(d) for d in distances]
+
+
+def crowding_distances(objective_vectors: Sequence[Sequence[float]],
+                       backend: Optional[str] = None) -> List[float]:
+    """Crowding distance of each vector within its (single) front."""
+    if _resolve_backend(backend) == "python":
+        return _crowding_distances_python(objective_vectors)
+    if len(objective_vectors) == 0:
+        return []
+    return _crowding_distances_numpy(_objective_array(objective_vectors))

@@ -92,10 +92,11 @@ class CaffeineSettings:
     #: backend of :class:`~repro.core.evaluation.PopulationEvaluator` used to
     #: compute uncached basis columns: ``"serial"`` (default), ``"thread"``
     #: (a :class:`~concurrent.futures.ThreadPoolExecutor`; NumPy releases the
-    #: GIL in the heavy kernels) or ``"process"`` (falls back to threads with
-    #: a warning when the expression trees are not picklable, e.g. with the
-    #: default lambda-based function set).  All backends produce bit-for-bit
-    #: identical results; only wall-clock time differs.
+    #: GIL in the heavy kernels) or ``"process"`` (the default function set
+    #: is picklable, so trees genuinely cross the process boundary; custom
+    #: operators built from lambdas fall back to threads with a warning).
+    #: All backends produce bit-for-bit identical results; only wall-clock
+    #: time differs.
     evaluation_backend: str = "serial"
     #: worker count for the parallel evaluation backends (0 = os.cpu_count())
     evaluation_workers: int = 0
@@ -107,6 +108,22 @@ class CaffeineSettings:
     #: then, one batch evaluation still computes its duplicate columns only
     #: once (batch-local sharing) and still uses the parallel backend.
     basis_cache_size: int = 20000
+    #: how the linear weights are fitted: ``"gram"`` (default) batches the
+    #: generation's normal-equation scalars through the
+    #: :class:`~repro.core.evaluation.GramPool` so each fit is a small
+    #: gather-and-solve; ``"direct"`` runs a full
+    #: :func:`~repro.regression.least_squares.fit_linear` per individual.
+    #: Both produce bit-for-bit identical fits, errors and trade-offs.
+    fit_backend: str = "gram"
+    #: maximum number of pairwise column dot products retained by the gram
+    #: pool (each entry is one float; column-level stats are bounded by the
+    #: same number).  0 disables the pool, which implies direct fits.
+    gram_pool_size: int = 200000
+    #: Pareto/NSGA-II kernels: ``"numpy"`` (default) uses the vectorized
+    #: broadcasting implementations in :mod:`repro.core.pareto`; ``"python"``
+    #: the pure-Python reference.  Identical results (fronts are
+    #: canonicalized to ascending index order in both), different speed.
+    pareto_backend: str = "numpy"
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -152,6 +169,12 @@ class CaffeineSettings:
             raise ValueError("evaluation_workers must be non-negative")
         if self.basis_cache_size < 0:
             raise ValueError("basis_cache_size must be non-negative")
+        if self.fit_backend not in ("gram", "direct"):
+            raise ValueError("fit_backend must be 'gram' or 'direct'")
+        if self.gram_pool_size < 0:
+            raise ValueError("gram_pool_size must be non-negative")
+        if self.pareto_backend not in ("numpy", "python"):
+            raise ValueError("pareto_backend must be 'numpy' or 'python'")
 
     # ------------------------------------------------------------------
     @classmethod

@@ -20,6 +20,7 @@ from repro.experiments.setup import (
     OtaDatasets,
     generate_ota_datasets,
     run_caffeine_for_target,
+    shared_column_cache,
 )
 from repro.experiments.figure3 import Figure3Result, run_figure3
 from repro.experiments.table1 import Table1Result, run_table1
@@ -31,6 +32,7 @@ __all__ = [
     "OtaDatasets",
     "generate_ota_datasets",
     "run_caffeine_for_target",
+    "shared_column_cache",
     "Figure3Result",
     "run_figure3",
     "Table1Result",

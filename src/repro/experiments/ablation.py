@@ -24,7 +24,8 @@ import numpy as np
 from repro.core.engine import CaffeineResult, run_caffeine
 from repro.core.functions import polynomial_function_set, rational_function_set
 from repro.core.settings import CaffeineSettings
-from repro.experiments.setup import OtaDatasets, generate_ota_datasets
+from repro.experiments.setup import OtaDatasets, generate_ota_datasets, \
+    shared_column_cache
 from repro.gp.regression import PlainGPResult, PlainGPSettings, run_plain_gp
 
 __all__ = ["AblationEntry", "AblationResult", "run_ablation"]
@@ -101,16 +102,25 @@ def run_ablation(datasets: Optional[OtaDatasets] = None,
     train, test = datasets.for_target(target)
 
     entries = []
+    # The four CAFFEINE variants evaluate on the same X; a shared
+    # (fingerprinted) column cache lets runs with the same function set
+    # (full grammar and error-only) reuse each other's columns.  The
+    # rational/polynomial variants hash to their own namespaces -- cache
+    # keys identify operators by name, so cross-set reuse is only enabled
+    # between provably identical operator bindings.
+    column_cache = shared_column_cache(settings)
 
-    full = run_caffeine(train, test, settings)
+    full = run_caffeine(train, test, settings, column_cache=column_cache)
     entries.append(_entry_from_caffeine("CAFFEINE (full grammar)", target, full))
 
     rational = run_caffeine(train, test,
-                            settings.copy(function_set=rational_function_set()))
+                            settings.copy(function_set=rational_function_set()),
+                            column_cache=column_cache)
     entries.append(_entry_from_caffeine("CAFFEINE (rationals)", target, rational))
 
     polynomial = run_caffeine(train, test,
-                              settings.copy(function_set=polynomial_function_set()))
+                              settings.copy(function_set=polynomial_function_set()),
+                              column_cache=column_cache)
     entries.append(_entry_from_caffeine("CAFFEINE (polynomials)", target, polynomial))
 
     if include_single_objective:
@@ -118,7 +128,8 @@ def run_ablation(datasets: Optional[OtaDatasets] = None,
         # multi-objective machinery degenerates to single-objective search.
         single = run_caffeine(train, test,
                               settings.copy(basis_function_cost=0.0,
-                                            vc_exponent_cost=0.0))
+                                            vc_exponent_cost=0.0),
+                              column_cache=column_cache)
         entries.append(_entry_from_caffeine("CAFFEINE (error-only)", target, single))
 
     gp_settings = PlainGPSettings(

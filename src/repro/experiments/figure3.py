@@ -21,7 +21,7 @@ from repro.core.engine import CaffeineResult
 from repro.core.report import tradeoff_table
 from repro.core.settings import CaffeineSettings
 from repro.experiments.setup import OtaDatasets, generate_ota_datasets, \
-    run_caffeine_for_target
+    run_caffeine_for_target, shared_column_cache
 
 __all__ = ["Figure3Series", "Figure3Result", "run_figure3"]
 
@@ -105,8 +105,12 @@ def run_figure3(datasets: Optional[OtaDatasets] = None,
 
     series: Dict[str, Figure3Series] = {}
     results: Dict[str, CaffeineResult] = {}
+    # All six performances evaluate on the same X: one shared (fingerprinted)
+    # column cache lets each run reuse the columns the previous ones computed.
+    column_cache = shared_column_cache(settings)
     for target in selected:
-        result = run_caffeine_for_target(datasets, target, settings)
+        result = run_caffeine_for_target(datasets, target, settings,
+                                         column_cache=column_cache)
         results[target] = result
         series[target] = _series_from_result(target, result)
     return Figure3Result(series=series, results=results, settings=settings)

@@ -22,7 +22,7 @@ from repro.core.model import SymbolicModel
 from repro.core.report import comparison_table
 from repro.core.settings import CaffeineSettings
 from repro.experiments.setup import OtaDatasets, generate_ota_datasets, \
-    run_caffeine_for_target
+    run_caffeine_for_target, shared_column_cache
 from repro.posynomial.model import PosynomialModel, fit_posynomial
 from repro.posynomial.template import PosynomialTemplate
 
@@ -131,11 +131,13 @@ def run_figure4(datasets: Optional[OtaDatasets] = None,
 
     all_results: Dict[str, CaffeineResult] = dict(results or {})
     rows = []
+    column_cache = shared_column_cache(settings)
     for target in selected:
         train, test = datasets.for_target(target)
         posynomial = fit_posynomial(train, test, template=template)
         if target not in all_results:
-            all_results[target] = run_caffeine_for_target(datasets, target, settings)
+            all_results[target] = run_caffeine_for_target(
+                datasets, target, settings, column_cache=column_cache)
         caffeine_model = select_caffeine_model(all_results[target], posynomial)
         rows.append(Figure4Row(target=target, caffeine_model=caffeine_model,
                                posynomial_model=posynomial))

@@ -18,7 +18,7 @@ from repro.core.model import SymbolicModel
 from repro.core.report import format_percent
 from repro.core.settings import CaffeineSettings
 from repro.experiments.setup import OtaDatasets, generate_ota_datasets, \
-    run_caffeine_for_target
+    run_caffeine_for_target, shared_column_cache
 
 __all__ = ["Table1Row", "Table1Result", "run_table1"]
 
@@ -104,9 +104,11 @@ def run_table1(datasets: Optional[OtaDatasets] = None,
 
     all_results: Dict[str, CaffeineResult] = dict(results or {})
     rows = []
+    column_cache = shared_column_cache(settings)
     for target in selected:
         if target not in all_results:
-            all_results[target] = run_caffeine_for_target(datasets, target, settings)
+            all_results[target] = run_caffeine_for_target(
+                datasets, target, settings, column_cache=column_cache)
         model = select_table1_model(all_results[target], error_target)
         rows.append(Table1Row(target=target, error_target=error_target, model=model))
     return Table1Result(rows=tuple(rows), results=all_results,

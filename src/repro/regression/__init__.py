@@ -14,7 +14,10 @@ from repro.regression.least_squares import (
     LinearFit,
     design_matrix,
     fit_linear,
+    fit_linear_from_gram,
+    pair_dots,
     predict_linear,
+    raw_normal_statistics,
 )
 from repro.regression.press import (
     hat_matrix,
@@ -32,6 +35,9 @@ __all__ = [
     "LinearFit",
     "design_matrix",
     "fit_linear",
+    "fit_linear_from_gram",
+    "pair_dots",
+    "raw_normal_statistics",
     "predict_linear",
     "hat_matrix",
     "loo_residuals",

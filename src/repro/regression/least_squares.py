@@ -6,16 +6,35 @@ the basis functions are evolved by GP, the weights ``wj`` and intercept
 implements that fit with the numerical safeguards needed when basis functions
 are nearly collinear or badly scaled (a common occurrence for randomly
 generated expressions): a tiny ridge term and column scaling.
+
+Two entry points produce *bit-for-bit identical* fits:
+
+* :func:`fit_linear` -- takes the basis matrix and computes its own normal
+  equations;
+* :func:`fit_linear_from_gram` -- takes precomputed raw cross-products (as
+  cached and batched by the generation-level gram pool in
+  :mod:`repro.core.evaluation`) and skips every per-fit pass over
+  ``n_samples`` except the final prediction/residual step.
+
+The identity holds because both paths share one canonical dot-product
+recipe, :func:`pair_dots`: columns are stacked as *rows* of a C-contiguous
+array and reduced along the contiguous axis, where NumPy's pairwise
+summation depends only on the row's own data and length -- never on which
+other rows share the batch.  (BLAS GEMM does *not* have this property: the
+entries of ``P.T @ P`` change in the last ulp with the shape of ``P``, which
+is why the gram pool cannot simply gather from one big matrix product.)
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["LinearFit", "design_matrix", "fit_linear", "predict_linear"]
+__all__ = ["LinearFit", "design_matrix", "fit_linear", "fit_linear_from_gram",
+           "fit_linear_from_gram_batch", "pair_dots", "raw_normal_statistics",
+           "predict_linear"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,6 +67,135 @@ def design_matrix(basis_matrix: np.ndarray, include_intercept: bool = True
         return basis_matrix
     ones = np.ones((basis_matrix.shape[0], 1))
     return np.hstack([ones, basis_matrix])
+
+
+def pair_dots(rows_a: np.ndarray, rows_b: np.ndarray) -> np.ndarray:
+    """Canonical columnwise dot products: ``sum(rows_a * rows_b, axis=1)``.
+
+    ``rows_a`` / ``rows_b`` are ``(n_pairs, n_samples)`` C-contiguous stacks
+    of basis columns *as rows*.  Reducing along the contiguous last axis uses
+    NumPy's pairwise summation, whose result for each row depends only on
+    that row's data and length -- so a dot product computed in a batch of
+    3000 pairs is bit-for-bit the value computed alone.  Every normal-equation
+    entry in this module (and in the gram pool of
+    :mod:`repro.core.evaluation`) goes through this one recipe; that is the
+    entire basis of the ``fit_linear`` == ``fit_linear_from_gram`` guarantee.
+    """
+    return (rows_a * rows_b).sum(axis=1)
+
+
+def raw_normal_statistics(basis_matrix: np.ndarray, y: np.ndarray
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Raw (unscaled, no-intercept) normal-equation blocks of one matrix.
+
+    Returns ``(gram, colsums, ydots)`` where ``gram[i, j]`` is the canonical
+    dot of columns ``i`` and ``j``, ``colsums`` the canonical column sums and
+    ``ydots`` the canonical column--target dots.  Exactly the quantities the
+    gram pool caches per column/pair, computed by the same recipe.
+    """
+    n_bases = basis_matrix.shape[1]
+    rows = np.ascontiguousarray(basis_matrix.T)
+    colsums = rows.sum(axis=1)
+    ydots = (rows * y[None, :]).sum(axis=1)
+    upper_i, upper_j = np.triu_indices(n_bases)
+    dots = pair_dots(rows[upper_i], rows[upper_j])
+    gram = np.empty((n_bases, n_bases))
+    gram[upper_i, upper_j] = dots
+    gram[upper_j, upper_i] = dots
+    return gram, colsums, ydots
+
+
+def _intercept_only_fit(y: np.ndarray, include_intercept: bool) -> LinearFit:
+    """The zero-basis-function fit (shared by both entry points)."""
+    intercept = float(np.mean(y)) if include_intercept else 0.0
+    residuals = y - intercept
+    return LinearFit(intercept=intercept, coefficients=np.zeros(0),
+                     residual_sum_of_squares=float(residuals @ residuals),
+                     rank=1 if include_intercept else 0, singular=False)
+
+
+def _solve_from_raw(gram: np.ndarray, colsums: np.ndarray, ydots: np.ndarray,
+                    y_sum: float, basis_matrix: np.ndarray, y: np.ndarray,
+                    ridge: float, include_intercept: bool
+                    ) -> Optional[LinearFit]:
+    """Shared solve: scale, ridge, solve/fallback, unscale, score.
+
+    The raw blocks must come from :func:`raw_normal_statistics` or from the
+    gram pool's per-pair cache -- both use :func:`pair_dots`, so this
+    function cannot tell (and does not care) which path produced them.
+    ``basis_matrix`` is still required: the singular fallback and the
+    residual computation intentionally run on the full data so the reported
+    error is the exact quantity the rest of the system has always used.
+    """
+    n_samples, n_bases = basis_matrix.shape
+    # Scale columns to unit RMS so the ridge term acts uniformly.
+    scales = np.sqrt(gram.diagonal() / n_samples)
+    scales[scales < 1e-300] = 1.0
+
+    if include_intercept:
+        size = n_bases + 1
+        full_scales = np.empty(size)
+        full_scales[0] = 1.0
+        full_scales[1:] = scales
+        raw = np.empty((size, size))
+        raw[0, 0] = float(n_samples)
+        raw[0, 1:] = colsums
+        raw[1:, 0] = colsums
+        raw[1:, 1:] = gram
+        raw_rhs = np.empty(size)
+        raw_rhs[0] = y_sum
+        raw_rhs[1:] = ydots
+    else:
+        size = n_bases
+        full_scales = scales
+        raw = gram
+        raw_rhs = ydots
+    scaled_gram = raw / (full_scales[:, None] * full_scales[None, :])
+    rhs = raw_rhs / full_scales
+    # The rank estimate needs the unpenalized gram; compute its spectrum
+    # before the in-place ridge add below.  Informational metadata only --
+    # matrix_rank's tolerance recipe on a symmetric eigendecomposition.
+    try:
+        spectrum = np.abs(np.linalg.eigvalsh(scaled_gram))
+        tolerance = spectrum.max() * size * np.finfo(np.float64).eps
+        rank = int(np.count_nonzero(spectrum > tolerance))
+    except np.linalg.LinAlgError:  # pragma: no cover - non-finite gram
+        rank = 0
+    # Trace via an explicit diagonal gather + contiguous pairwise sum: the
+    # one reduction recipe whose result is identical whether computed here
+    # or as one row of the batched path's (m, size) diagonal stack.
+    diagonal_indices = np.arange(size)
+    ridge_term = ridge * max(
+        1.0, float(scaled_gram[diagonal_indices, diagonal_indices].sum()))
+    diagonal = scaled_gram.reshape(-1)[:: size + 1]
+    if include_intercept:
+        # The intercept is never penalized.
+        diagonal[1:] += ridge_term
+    else:
+        diagonal += ridge_term
+    try:
+        solution = np.linalg.solve(scaled_gram, rhs)
+        singular = False
+    except np.linalg.LinAlgError:
+        design = design_matrix(basis_matrix / scales, include_intercept)
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        singular = True
+    if not np.all(np.isfinite(solution)):
+        return None
+
+    if include_intercept:
+        intercept = float(solution[0])
+        coefficients = solution[1:] / scales
+    else:
+        intercept = 0.0
+        coefficients = solution / scales
+
+    predictions = basis_matrix @ coefficients + intercept
+    residuals = y - predictions
+    return LinearFit(intercept=intercept,
+                     coefficients=np.asarray(coefficients, dtype=float),
+                     residual_sum_of_squares=float(residuals @ residuals),
+                     rank=rank, singular=singular)
 
 
 def fit_linear(basis_matrix: np.ndarray, y: np.ndarray,
@@ -87,54 +235,133 @@ def fit_linear(basis_matrix: np.ndarray, y: np.ndarray,
     if not np.all(np.isfinite(basis_matrix)) or not np.all(np.isfinite(y)):
         return None
 
-    n_samples, n_bases = basis_matrix.shape
-    if n_bases == 0:
-        intercept = float(np.mean(y)) if include_intercept else 0.0
-        residuals = y - intercept
-        return LinearFit(intercept=intercept, coefficients=np.zeros(0),
-                         residual_sum_of_squares=float(residuals @ residuals),
-                         rank=1 if include_intercept else 0, singular=False)
+    if basis_matrix.shape[1] == 0:
+        return _intercept_only_fit(y, include_intercept)
 
-    # Scale columns to unit RMS so the ridge term acts uniformly.
-    scales = np.sqrt(np.mean(basis_matrix ** 2, axis=0))
+    gram, colsums, ydots = raw_normal_statistics(basis_matrix, y)
+    return _solve_from_raw(gram, colsums, ydots, float(y.sum()),
+                           basis_matrix, y, ridge, include_intercept)
+
+
+def fit_linear_from_gram(gram: np.ndarray, colsums: np.ndarray,
+                         ydots: np.ndarray, y_sum: float,
+                         basis_matrix: np.ndarray, y: np.ndarray,
+                         ridge: float = 1e-10,
+                         include_intercept: bool = True
+                         ) -> Optional[LinearFit]:
+    """Fit from precomputed raw cross-products -- bit-for-bit ``fit_linear``.
+
+    Parameters
+    ----------
+    gram, colsums, ydots:
+        The raw normal-equation blocks of ``basis_matrix``: columnwise dot
+        products, column sums and column--target dots, each computed by the
+        canonical :func:`pair_dots` recipe (see
+        :func:`raw_normal_statistics`; the gram pool in
+        :mod:`repro.core.evaluation` caches exactly these scalars per basis
+        column/pair and gathers them here without touching ``n_samples``).
+    y_sum:
+        ``float(y.sum())`` -- cached once per dataset by the pool.
+    basis_matrix, y:
+        Still needed for the singular-``lstsq`` fallback and the final
+        residual pass.  The caller must have established finiteness of both
+        (``fit_linear`` scans; the evaluator keeps per-column finite flags)
+        -- this function assumes it, which is where the per-fit full-matrix
+        ``isfinite`` scan is saved.
+    """
+    basis_matrix = np.asarray(basis_matrix, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if basis_matrix.shape[1] == 0:
+        return _intercept_only_fit(y, include_intercept)
+    return _solve_from_raw(np.asarray(gram, dtype=float),
+                           np.asarray(colsums, dtype=float),
+                           np.asarray(ydots, dtype=float),
+                           float(y_sum), basis_matrix, y, ridge,
+                           include_intercept)
+
+
+def fit_linear_from_gram_batch(grams: np.ndarray, colsums: np.ndarray,
+                               ydots: np.ndarray, y_sum: float,
+                               basis_matrices: Sequence[np.ndarray],
+                               y: np.ndarray, ridge: float = 1e-10
+                               ) -> List[Optional[LinearFit]]:
+    """Batch of same-width :func:`fit_linear_from_gram` fits, one LAPACK call.
+
+    ``grams`` is an ``(m, k, k)`` stack of raw grams, ``colsums``/``ydots``
+    the matching ``(m, k)`` stacks, and ``basis_matrices`` the ``m``
+    assembled matrices (needed, as always, for the prediction/residual
+    pass); all items share the same ``y``.  Requires ``k >= 1`` and an
+    intercept (the evaluator's case).
+
+    Every per-item result is bit-for-bit what :func:`fit_linear_from_gram`
+    returns: the scaling/ridge arithmetic is elementwise (batching cannot
+    change it) and the stacked ``eigvalsh``/``solve`` gufuncs run the same
+    LAPACK routine per item as the scalar calls.  A singular item aborts
+    the whole stacked solve, so that (rare) case falls back to scalar fits
+    item by item -- same results, just slower.
+    """
+    y = np.asarray(y, dtype=float).ravel()
+    m, k = colsums.shape
+    if k == 0:
+        raise ValueError("batched gram fits require at least one basis column")
+    n_samples = y.shape[0]
+    size = k + 1
+
+    def _scalar_fallback() -> List[Optional[LinearFit]]:
+        return [fit_linear_from_gram(grams[i], colsums[i], ydots[i], y_sum,
+                                     basis_matrices[i], y, ridge)
+                for i in range(m)]
+
+    base_indices = np.arange(k)
+    scales = np.sqrt(grams[:, base_indices, base_indices] / n_samples)
     scales[scales < 1e-300] = 1.0
-    scaled = basis_matrix / scales
+    full_scales = np.empty((m, size))
+    full_scales[:, 0] = 1.0
+    full_scales[:, 1:] = scales
+    raw = np.empty((m, size, size))
+    raw[:, 0, 0] = float(n_samples)
+    raw[:, 0, 1:] = colsums
+    raw[:, 1:, 0] = colsums
+    raw[:, 1:, 1:] = grams
+    raw_rhs = np.empty((m, size))
+    raw_rhs[:, 0] = y_sum
+    raw_rhs[:, 1:] = ydots
+    scaled_gram = raw / (full_scales[:, :, None] * full_scales[:, None, :])
+    rhs = raw_rhs / full_scales
 
-    design = design_matrix(scaled, include_intercept)
-    gram = design.T @ design
-    penalty = np.eye(design.shape[1]) * ridge * max(1.0, float(np.trace(gram)))
-    if include_intercept:
-        penalty[0, 0] = 0.0
-    rhs = design.T @ y
+    diagonal_indices = np.arange(size)
     try:
-        solution = np.linalg.solve(gram + penalty, rhs)
-        singular = False
+        spectra = np.abs(np.linalg.eigvalsh(scaled_gram))
+    except np.linalg.LinAlgError:  # pragma: no cover - non-finite gram
+        return _scalar_fallback()
+    tolerances = spectra.max(axis=-1) * size * np.finfo(np.float64).eps
+    ranks = np.count_nonzero(spectra > tolerances[:, None], axis=-1)
+    traces = scaled_gram[:, diagonal_indices, diagonal_indices].sum(axis=1)
+    ridge_terms = ridge * np.maximum(1.0, traces)
+    scaled_gram[:, diagonal_indices[1:], diagonal_indices[1:]] += \
+        ridge_terms[:, None]
+    try:
+        solutions = np.linalg.solve(scaled_gram, rhs[..., None])[..., 0]
     except np.linalg.LinAlgError:
-        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
-        singular = True
-    if not np.all(np.isfinite(solution)):
-        return None
+        return _scalar_fallback()
 
-    if include_intercept:
-        intercept = float(solution[0])
-        coefficients = solution[1:] / scales
-    else:
-        intercept = 0.0
-        coefficients = solution / scales
-
-    predictions = basis_matrix @ coefficients + intercept
-    residuals = y - predictions
-    # rank(A) == rank(A^T A); the gram matrix is (n_bases+1)^2 and already in
-    # hand, so its SVD costs microseconds where the full design's SVD was the
-    # single most expensive step of every fit.  Squaring the singular values
-    # makes this estimate *less* tolerant: designs with condition number
-    # beyond ~1/sqrt(eps) report rank-deficiency earlier than the full
-    # design's SVD would.  The field is informational metadata only.
-    rank = int(np.linalg.matrix_rank(gram))
-    return LinearFit(intercept=intercept,
-                     coefficients=np.asarray(coefficients, dtype=float),
-                     residual_sum_of_squares=float(residuals @ residuals),
-                     rank=rank, singular=singular)
+    finite_rows = np.isfinite(solutions).all(axis=1)
+    coefficient_rows = solutions[:, 1:] / scales
+    fits: List[Optional[LinearFit]] = []
+    for i in range(m):
+        if not finite_rows[i]:
+            fits.append(None)
+            continue
+        intercept = float(solutions[i, 0])
+        coefficients = coefficient_rows[i]
+        basis_matrix = basis_matrices[i]
+        predictions = basis_matrix @ coefficients + intercept
+        residuals = y - predictions
+        fits.append(LinearFit(
+            intercept=intercept, coefficients=coefficients,
+            residual_sum_of_squares=float(residuals @ residuals),
+            rank=int(ranks[i]), singular=False))
+    return fits
 
 
 def predict_linear(fit: LinearFit, basis_matrix: np.ndarray) -> np.ndarray:

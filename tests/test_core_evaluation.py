@@ -205,19 +205,23 @@ class TestEvaluatorEquivalence:
     def test_process_backend_falls_back_on_lambdas(self, generator,
                                                    rational_train, fast_settings):
         population = _random_population(generator, 4)
-        # Guarantee at least one operator-bearing tree: its Operator record
-        # holds a lambda, which cannot be pickled across a process boundary.
+        # The default operators are module-level functions now, so build an
+        # artificial lambda-backed operator: it cannot be pickled across a
+        # process boundary, which must trigger the thread fallback.
+        from repro.core.functions import Operator
+
+        lambda_op = Operator("lambda_abs", 1, lambda x: abs(x),
+                             "lambda_abs({0})", "LABS")
         with_op = ProductTerm(ops=[UnaryOpTerm(
-            op=UNARY_OPERATORS["abs"],
+            op=lambda_op,
             argument=WeightedSum(offset=Weight(stored=1.0)))])
         population.append(Individual(bases=[with_op]))
         evaluator = PopulationEvaluator(
             rational_train.X, rational_train.y,
             fast_settings.copy(evaluation_backend="process",
                                evaluation_workers=2))
-        # The default function set stores lambdas, which cannot cross a
-        # process boundary; the evaluator must degrade to threads, warn once,
-        # and still produce correct results.
+        # Lambdas cannot cross a process boundary; the evaluator must
+        # degrade to threads, warn once, and still produce correct results.
         with pytest.warns(RuntimeWarning):
             evaluator.evaluate_population(population)
         reference = [ind.clone() for ind in population]
@@ -228,12 +232,17 @@ class TestEvaluatorEquivalence:
 
     def test_process_backend_runs_picklable_trees(self, rational_train,
                                                   fast_settings):
-        """VC-only trees contain no lambdas, so the process pool genuinely
-        runs (no fallback warning) and matches the serial results."""
+        """Default-set trees (including operator-bearing ones) pickle, so
+        the process pool genuinely runs (no fallback warning) and matches
+        the serial results."""
         import warnings as warnings_module
 
         population = [Individual(bases=[ProductTerm(vc=VariableCombo((k, j, 1)))])
                       for k in (1, 2, 3) for j in (-1, -2)]
+        population.append(Individual(bases=[ProductTerm(
+            vc=VariableCombo((1, 0, 0)),
+            ops=[UnaryOpTerm(op=UNARY_OPERATORS["sqrt"],
+                             argument=WeightedSum(offset=Weight(stored=2.0)))])]))
         reference = [ind.clone() for ind in population]
         with warnings_module.catch_warnings(record=True) as caught:
             warnings_module.simplefilter("always")
@@ -313,6 +322,189 @@ class TestEvaluatorValidation:
             CaffeineSettings(basis_cache_size=-1)
 
 
+class TestGramPoolEquivalence:
+    """Gram-pool fits are bit-for-bit identical to direct fit_linear fits."""
+
+    def _assert_same_evaluation(self, a: Individual, b: Individual):
+        assert a.error == b.error
+        assert a.complexity == b.complexity
+        assert (a.fit is None) == (b.fit is None)
+        if a.fit is not None:
+            assert a.fit.intercept == b.fit.intercept
+            assert np.array_equal(a.fit.coefficients, b.fit.coefficients)
+            assert a.fit.residual_sum_of_squares == b.fit.residual_sum_of_squares
+            assert a.fit.rank == b.fit.rank
+            assert a.fit.singular == b.fit.singular
+
+    def test_gram_matches_direct_on_random_populations(self, generator,
+                                                       rational_train,
+                                                       fast_settings):
+        population = _random_population(generator, 25)
+        reference = [ind.clone() for ind in population]
+        gram = PopulationEvaluator(rational_train.X, rational_train.y,
+                                   fast_settings.copy(fit_backend="gram"))
+        direct = PopulationEvaluator(rational_train.X, rational_train.y,
+                                     fast_settings.copy(fit_backend="direct"))
+        gram.evaluate_population(population)
+        direct.evaluate_population(reference)
+        assert gram.gram_pool is not None and direct.gram_pool is None
+        for a, b in zip(population, reference):
+            self._assert_same_evaluation(a, b)
+
+    def test_gram_pairs_reused_across_generations(self, generator,
+                                                  rational_train, fast_settings):
+        """Re-evaluating overlapping individuals hits the pair pool: the
+        second batch (clones with the fit cache disabled) computes no new
+        pair dots."""
+        population = _random_population(generator, 10)
+        evaluator = PopulationEvaluator(
+            rational_train.X, rational_train.y,
+            fast_settings.copy(fit_backend="gram", basis_cache_size=0))
+        evaluator.evaluate_population(population)
+        pairs_after_first = evaluator.gram_pool.n_pairs_computed
+        assert pairs_after_first > 0
+        evaluator.evaluate_population([ind.clone() for ind in population])
+        assert evaluator.gram_pool.n_pairs_computed == pairs_after_first
+        assert evaluator.gram_pool.pair_hit_rate > 0.0
+
+    def test_gram_infeasible_individuals_match_direct(self, rational_train,
+                                                      fast_settings):
+        X = rational_train.X.copy()
+        X[0, 0] = 0.0
+        bad = Individual(bases=[ProductTerm(vc=VariableCombo((-4, 0, 0)))])
+        gram = PopulationEvaluator(X, rational_train.y,
+                                   fast_settings.copy(fit_backend="gram"))
+        direct = PopulationEvaluator(X, rational_train.y,
+                                     fast_settings.copy(fit_backend="direct"))
+        a, b = bad.clone(), bad.clone()
+        gram.evaluate_individual(a)
+        direct.evaluate_individual(b)
+        assert not a.is_feasible and not b.is_feasible
+        self._assert_same_evaluation(a, b)
+
+    def test_gram_tiny_pool_still_correct(self, generator, rational_train,
+                                          fast_settings):
+        """A pool far smaller than one batch thrashes but never lies."""
+        population = _random_population(generator, 12)
+        reference = [ind.clone() for ind in population]
+        tiny = PopulationEvaluator(rational_train.X, rational_train.y,
+                                   fast_settings.copy(fit_backend="gram",
+                                                      gram_pool_size=3))
+        direct = PopulationEvaluator(rational_train.X, rational_train.y,
+                                     fast_settings.copy(fit_backend="direct"))
+        tiny.evaluate_population(population)
+        direct.evaluate_population(reference)
+        for a, b in zip(population, reference):
+            self._assert_same_evaluation(a, b)
+
+    def test_settings_validate_fit_backend(self):
+        with pytest.raises(ValueError):
+            CaffeineSettings(fit_backend="magic")
+        with pytest.raises(ValueError):
+            CaffeineSettings(gram_pool_size=-1)
+        with pytest.raises(ValueError):
+            CaffeineSettings(pareto_backend="fortran")
+
+
+class TestPicklableFunctionSet:
+    """The default function set round-trips through pickle (so the process
+    evaluation backend genuinely runs instead of degrading to threads)."""
+
+    def test_default_function_set_round_trips(self):
+        import pickle as pickle_module
+
+        from repro.core.functions import default_function_set
+
+        function_set = default_function_set()
+        restored = pickle_module.loads(pickle_module.dumps(function_set))
+        assert restored == function_set
+        x = np.linspace(0.1, 2.0, 7)
+        for original, copy in zip(
+                function_set.unary + function_set.binary,
+                restored.unary + restored.binary):
+            args = (x,) * original.arity
+            assert np.array_equal(original(*args), copy(*args),
+                                  equal_nan=True)
+
+    def test_operator_bearing_tree_round_trips(self, generator):
+        import pickle as pickle_module
+
+        X = np.linspace(0.5, 1.5, 12).reshape(4, 3)
+        for basis in generator.random_basis_functions(4):
+            restored = pickle_module.loads(pickle_module.dumps(basis))
+            assert structural_key(restored) == structural_key(basis)
+            assert np.array_equal(basis.evaluate(X), restored.evaluate(X),
+                                  equal_nan=True)
+
+
+class TestSharedColumnCache:
+    """One BasisColumnCache serves several evaluators via dataset keys."""
+
+    def test_same_data_shares_columns(self, generator, rational_train,
+                                      fast_settings):
+        from repro.core.evaluation import (
+            dataset_fingerprint,
+            function_set_fingerprint,
+        )
+
+        population = _random_population(generator, 8)
+        shared = BasisColumnCache(max_entries=5000)
+        y_other = rational_train.y * 2.0 + 1.0
+        first = PopulationEvaluator(rational_train.X, rational_train.y,
+                                    fast_settings, cache=shared)
+        second = PopulationEvaluator(rational_train.X, y_other,
+                                     fast_settings, cache=shared)
+        assert first.dataset_key == second.dataset_key == \
+            (dataset_fingerprint(rational_train.X),
+             function_set_fingerprint(fast_settings.function_set))
+        first.evaluate_population([ind.clone() for ind in population])
+        computed_by_first = first.n_columns_computed
+        assert computed_by_first > 0
+        # Same X, different target: every column comes from the shared cache.
+        second.evaluate_population([ind.clone() for ind in population])
+        assert second.n_columns_computed == 0
+        assert second.column_hit_rate == 1.0
+
+    def test_different_function_sets_never_collide(self, rational_train,
+                                                   fast_settings):
+        """Same X but a different operator binding gets its own namespace:
+        structural keys identify operators by name, so cross-set sharing is
+        only safe when the implementations provably match."""
+        from repro.core.functions import rational_function_set
+
+        shared = BasisColumnCache(max_entries=5000)
+        full = PopulationEvaluator(rational_train.X, rational_train.y,
+                                   fast_settings, cache=shared)
+        rational = PopulationEvaluator(
+            rational_train.X, rational_train.y,
+            fast_settings.copy(function_set=rational_function_set()),
+            cache=shared)
+        assert full.dataset_key != rational.dataset_key
+
+    def test_different_data_never_collides(self, generator, rational_train,
+                                           fast_settings):
+        population = _random_population(generator, 6)
+        shared = BasisColumnCache(max_entries=5000)
+        X_other = rational_train.X * 1.5
+        first = PopulationEvaluator(rational_train.X, rational_train.y,
+                                    fast_settings, cache=shared)
+        second = PopulationEvaluator(X_other, rational_train.y,
+                                     fast_settings, cache=shared)
+        assert first.dataset_key != second.dataset_key
+        first.evaluate_population([ind.clone() for ind in population])
+        shared_clones = [ind.clone() for ind in population]
+        second.evaluate_population(shared_clones)
+        # The shared cache must not have served columns evaluated on the
+        # wrong X: results match a private-cache evaluation bit for bit.
+        private = PopulationEvaluator(X_other, rational_train.y, fast_settings)
+        private_clones = [ind.clone() for ind in population]
+        private.evaluate_population(private_clones)
+        assert second.n_columns_computed == private.n_columns_computed
+        for a, b in zip(shared_clones, private_clones):
+            assert a.error == b.error
+            assert a.complexity == b.complexity
+
+
 class TestEndToEndReproducibility:
     def test_cache_on_off_same_tradeoff(self, rational_train, rational_test):
         """Fixed seed => identical trade-off whether or not the cache is on."""
@@ -335,6 +527,44 @@ class TestEndToEndReproducibility:
                                           evaluation_workers=2))
         assert [m.expression() for m in serial.tradeoff] == \
             [m.expression() for m in threaded.tradeoff]
+
+    def test_gram_and_pareto_backends_same_tradeoff(self, rational_train,
+                                                    rational_test):
+        """Fixed seed => identical trade-offs with the gram-pool fits and
+        the vectorized Pareto kernels on or off (all four combinations)."""
+        base = CaffeineSettings(population_size=20, n_generations=4,
+                                random_seed=7)
+        reference = run_caffeine(rational_train, rational_test, base)
+        for fit_backend in ("gram", "direct"):
+            for pareto_backend in ("numpy", "python"):
+                result = run_caffeine(
+                    rational_train, rational_test,
+                    base.copy(fit_backend=fit_backend,
+                              pareto_backend=pareto_backend))
+                assert [m.expression() for m in result.tradeoff] == \
+                    [m.expression() for m in reference.tradeoff], \
+                    (fit_backend, pareto_backend)
+                assert [m.train_error for m in result.tradeoff] == \
+                    [m.train_error for m in reference.tradeoff]
+                assert [m.test_error for m in result.tradeoff] == \
+                    [m.test_error for m in reference.tradeoff]
+
+    def test_shared_column_cache_same_tradeoff(self, rational_train,
+                                               rational_test):
+        """Sharing a column cache across runs never changes the models."""
+        from repro.core.evaluation import BasisColumnCache as Cache
+
+        base = CaffeineSettings(population_size=20, n_generations=3,
+                                random_seed=11)
+        private = run_caffeine(rational_train, rational_test, base)
+        shared = Cache(base.basis_cache_size)
+        first = run_caffeine(rational_train, rational_test, base,
+                             column_cache=shared)
+        second = run_caffeine(rational_train, rational_test, base,
+                              column_cache=shared)
+        for result in (first, second):
+            assert [m.expression() for m in result.tradeoff] == \
+                [m.expression() for m in private.tradeoff]
 
     def test_engine_cache_hits_accumulate(self, rational_train):
         from repro.core.engine import CaffeineEngine

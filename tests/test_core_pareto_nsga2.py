@@ -90,6 +90,51 @@ class TestCrowding:
         assert crowding_distances([]) == []
 
 
+class TestBackendDispatch:
+    """The numpy/python Pareto backends are interchangeable and validated."""
+
+    VECTORS = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (3.0, 3.0), (2.0, 2.0),
+               (float("inf"), 0.0), (0.5, float("inf"))]
+
+    def test_unknown_backend_rejected(self):
+        for function in (fast_nondominated_sort, crowding_distances,
+                         nondominated_indices):
+            with pytest.raises(ValueError):
+                function(self.VECTORS, backend="cython")
+
+    def test_sort_backends_agree(self):
+        assert fast_nondominated_sort(self.VECTORS, backend="numpy") == \
+            fast_nondominated_sort(self.VECTORS, backend="python")
+
+    def test_indices_backends_agree(self):
+        assert nondominated_indices(self.VECTORS, backend="numpy") == \
+            nondominated_indices(self.VECTORS, backend="python")
+
+    def test_crowding_backends_agree(self):
+        assert crowding_distances(self.VECTORS, backend="numpy") == \
+            crowding_distances(self.VECTORS, backend="python")
+
+    def test_empty_input(self):
+        for backend in ("numpy", "python"):
+            assert fast_nondominated_sort([], backend=backend) == []
+            assert crowding_distances([], backend=backend) == []
+            assert nondominated_indices([], backend=backend) == []
+
+    def test_filter_backends_agree(self):
+        points = [Point(v) for v in self.VECTORS]
+        assert nondominated_filter(points, key=lambda p: p.objectives,
+                                   backend="numpy") == \
+            nondominated_filter(points, key=lambda p: p.objectives,
+                                backend="python")
+
+    def test_fronts_are_ascending(self):
+        rng = np.random.default_rng(3)
+        vectors = [tuple(v) for v in rng.random((60, 2))]
+        for backend in ("numpy", "python"):
+            for front in fast_nondominated_sort(vectors, backend=backend):
+                assert front == sorted(front)
+
+
 class TestNsga2Selection:
     def _population(self):
         return [Point((1.0, 5.0)), Point((2.0, 3.0)), Point((3.0, 2.0)),

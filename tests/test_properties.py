@@ -160,6 +160,156 @@ def test_crowding_distances_nonnegative(vectors):
 
 
 # ----------------------------------------------------------------------
+# vectorized Pareto kernels == pure-Python reference
+# ----------------------------------------------------------------------
+# Adversarial objective values: exact ties and signed zeros (stable-sort
+# order must agree), infinities (the engine's infeasibility marker), plus
+# ordinary magnitudes.  NaN is deliberately excluded: the backends document
+# it as unsupported (sort placement would differ).
+_adversarial_value = st.one_of(
+    st.sampled_from([0.0, -0.0, 1.0, -1.0, 2.5, 1e300, -1e300,
+                     float("inf"), float("-inf")]),
+    st.floats(allow_nan=False, allow_infinity=True, width=64),
+)
+
+
+@st.composite
+def _equal_length_vectors(draw):
+    n_objectives = draw(st.integers(min_value=1, max_value=3))
+    vectors = draw(st.lists(
+        st.tuples(*[_adversarial_value] * n_objectives),
+        min_size=0, max_size=25))
+    # Duplicate a slice of the population to force ties and identical points.
+    if vectors and draw(st.booleans()):
+        vectors = vectors + vectors[:draw(st.integers(0, len(vectors)))]
+    return vectors
+
+
+@FAST
+@given(vectors=_equal_length_vectors())
+def test_fast_sort_backends_identical(vectors):
+    python_fronts = fast_nondominated_sort(vectors, backend="python")
+    numpy_fronts = fast_nondominated_sort(vectors, backend="numpy")
+    assert numpy_fronts == python_fronts
+
+
+@FAST
+@given(vectors=_equal_length_vectors())
+def test_nondominated_indices_backends_identical(vectors):
+    assert nondominated_indices(vectors, backend="numpy") == \
+        nondominated_indices(vectors, backend="python")
+
+
+@FAST
+@given(vectors=_equal_length_vectors())
+def test_crowding_backends_identical(vectors):
+    python_distances = crowding_distances(vectors, backend="python")
+    numpy_distances = crowding_distances(vectors, backend="numpy")
+    assert len(python_distances) == len(numpy_distances)
+    for a, b in zip(python_distances, numpy_distances):
+        # Bitwise agreement, inf included (inf == inf holds).
+        assert a == b or (np.isnan(a) and np.isnan(b))
+
+
+@FAST
+@given(vectors=_equal_length_vectors(), seed=st.integers(0, 10_000),
+       target_fraction=st.floats(min_value=0.1, max_value=1.0))
+def test_rank_and_selection_backends_identical(vectors, seed, target_fraction):
+    import dataclasses as dataclasses_module
+
+    from repro.core.nsga2 import environmental_selection, rank_population
+
+    if not vectors:
+        return
+
+    @dataclasses_module.dataclass
+    class Point:
+        objectives: tuple
+
+    population = [Point(v) for v in vectors]
+    ranked_python = rank_population(population, backend="python")
+    ranked_numpy = rank_population(population, backend="numpy")
+    assert [r.rank for r in ranked_python] == [r.rank for r in ranked_numpy]
+    assert [r.crowding for r in ranked_python] == \
+        [r.crowding for r in ranked_numpy]
+    target = max(1, int(len(population) * target_fraction))
+    assert [id(p) for p in environmental_selection(population, target,
+                                                   backend="python")] == \
+        [id(p) for p in environmental_selection(population, target,
+                                                backend="numpy")]
+
+
+# ----------------------------------------------------------------------
+# gram-pool fits == direct fits, bit for bit
+# ----------------------------------------------------------------------
+@FAST
+@given(n_samples=st.integers(min_value=2, max_value=120),
+       n_bases=st.integers(min_value=0, max_value=15),
+       scale_exponent=st.integers(min_value=-8, max_value=8),
+       seed=st.integers(min_value=0, max_value=10_000),
+       degenerate=st.sampled_from(["none", "duplicate", "zero", "constant"]))
+def test_gram_fit_bitwise_equals_fit_linear(n_samples, n_bases,
+                                            scale_exponent, seed, degenerate):
+    from repro.regression.least_squares import (
+        fit_linear_from_gram,
+        raw_normal_statistics,
+    )
+
+    rng = np.random.default_rng(seed)
+    basis_matrix = rng.normal(size=(n_samples, n_bases)) * \
+        10.0 ** rng.integers(-abs(scale_exponent), abs(scale_exponent) + 1,
+                             size=n_bases)
+    if n_bases >= 2 and degenerate == "duplicate":
+        basis_matrix[:, 1] = basis_matrix[:, 0]
+    elif n_bases >= 1 and degenerate == "zero":
+        basis_matrix[:, 0] = 0.0
+    elif n_bases >= 1 and degenerate == "constant":
+        basis_matrix[:, 0] = 3.25
+    y = rng.normal(size=n_samples) * 10.0 ** scale_exponent
+
+    direct = fit_linear(basis_matrix, y)
+    gram, colsums, ydots = raw_normal_statistics(basis_matrix, y)
+    pooled = fit_linear_from_gram(gram, colsums, ydots, float(y.sum()),
+                                  basis_matrix, y)
+    assert (direct is None) == (pooled is None)
+    if direct is not None:
+        assert pooled.intercept == direct.intercept
+        assert np.array_equal(pooled.coefficients, direct.coefficients)
+        assert pooled.residual_sum_of_squares == direct.residual_sum_of_squares
+        assert pooled.rank == direct.rank
+        assert pooled.singular == direct.singular
+
+
+@FAST
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n_individuals=st.integers(min_value=1, max_value=8))
+def test_gram_evaluator_bitwise_equals_direct_evaluator(seed, n_individuals):
+    from repro.core.evaluation import PopulationEvaluator
+    from repro.core.individual import Individual
+
+    settings = CaffeineSettings(population_size=10, n_generations=1,
+                                random_seed=seed, max_basis_functions=6)
+    rng = np.random.default_rng(seed)
+    generator = ExpressionGenerator(3, settings, rng=rng)
+    X = np.random.default_rng(seed + 1).uniform(0.5, 2.0, size=(40, 3))
+    y = np.random.default_rng(seed + 2).normal(size=40)
+    population = [Individual(bases=generator.random_basis_functions())
+                  for _ in range(n_individuals)]
+    reference = [ind.clone() for ind in population]
+    gram = PopulationEvaluator(X, y, settings.copy(fit_backend="gram"))
+    direct = PopulationEvaluator(X, y, settings.copy(fit_backend="direct"))
+    gram.evaluate_population(population)
+    direct.evaluate_population(reference)
+    for a, b in zip(population, reference):
+        assert a.error == b.error
+        assert a.complexity == b.complexity
+        assert (a.fit is None) == (b.fit is None)
+        if a.fit is not None:
+            assert a.fit.intercept == b.fit.intercept
+            assert np.array_equal(a.fit.coefficients, b.fit.coefficients)
+
+
+# ----------------------------------------------------------------------
 # metrics and linear algebra
 # ----------------------------------------------------------------------
 @FAST
