@@ -12,7 +12,6 @@ dataset -- the unit of work whose repetition makes up a full Figure 3 run.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.engine import CaffeineEngine
 from repro.core.settings import CaffeineSettings

@@ -11,7 +11,6 @@ least squares) on the ALF dataset, the baseline's unit of work.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.figure4 import Figure4Result, Figure4Row, select_caffeine_model
 from repro.posynomial.model import fit_posynomial

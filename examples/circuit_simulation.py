@@ -20,7 +20,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.circuits import (
     Circuit,

@@ -36,8 +36,10 @@ from repro.core import (
     CaffeineSettings,
     FunctionSet,
     BasisColumnCache,
+    ColumnCacheStore,
     GramPool,
     PopulationEvaluator,
+    TreeCompiler,
     dataset_fingerprint,
     SymbolicModel,
     TradeoffSet,
@@ -60,7 +62,9 @@ __all__ = [
     "TradeoffSet",
     "PopulationEvaluator",
     "BasisColumnCache",
+    "ColumnCacheStore",
     "GramPool",
+    "TreeCompiler",
     "dataset_fingerprint",
     "FunctionSet",
     "default_function_set",

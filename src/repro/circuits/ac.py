@@ -10,7 +10,7 @@ system is solved over a list of frequencies.  The OTA performance extraction
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from repro.circuits.mna import (
     stamp_conductance,
     stamp_vccs,
 )
-from repro.circuits.netlist import Circuit, Mosfet
+from repro.circuits.netlist import Circuit
 
 __all__ = ["ACSweep", "ac_analysis", "transfer_function", "logspace_frequencies"]
 

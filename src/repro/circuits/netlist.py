@@ -14,7 +14,7 @@ The classes here only *describe* the network; analysis lives in
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.circuits.mosfet import MosfetModel
 

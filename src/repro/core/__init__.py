@@ -14,6 +14,14 @@ The public surface of the core package:
   the search.
 """
 
+from repro.core.cache_store import ColumnCacheStore
+from repro.core.compile import (
+    CompilationError,
+    CompiledKernel,
+    TreeCompiler,
+    compile_basis_function,
+    skeleton_and_params,
+)
 from repro.core.complexity import basis_function_complexity, model_complexity, vc_cost
 from repro.core.evaluation import (
     BasisColumnCache,
@@ -84,6 +92,12 @@ __all__ = [
     "CacheStats",
     "GramPool",
     "dataset_fingerprint",
+    "ColumnCacheStore",
+    "TreeCompiler",
+    "CompiledKernel",
+    "CompilationError",
+    "compile_basis_function",
+    "skeleton_and_params",
     "structural_key",
     "ExpressionGenerator",
     "VariationOperators",

@@ -25,6 +25,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.cache_store import ColumnCacheStore
 from repro.core.evaluation import BasisColumnCache, PopulationEvaluator
 from repro.core.generator import ExpressionGenerator
 from repro.core.individual import Individual
@@ -235,8 +236,8 @@ class CaffeineEngine:
 def run_caffeine(train: Dataset, test: Optional[Dataset] = None,
                  settings: Optional[CaffeineSettings] = None,
                  progress: Optional[ProgressCallback] = None,
-                 column_cache: Optional[BasisColumnCache] = None
-                 ) -> CaffeineResult:
+                 column_cache: Optional[BasisColumnCache] = None,
+                 column_cache_path: Optional[str] = None) -> CaffeineResult:
     """Run CAFFEINE on a training dataset (and optional testing dataset).
 
     This is the library's main entry point::
@@ -252,7 +253,28 @@ def run_caffeine(train: Dataset, test: Optional[Dataset] = None,
     are namespaced by a dataset fingerprint, so runs on the same ``X``
     (e.g. the six OTA performances) reuse evaluated basis columns while
     runs on different data stay isolated.
+
+    ``column_cache_path`` additionally persists that cache across
+    *processes*: entries stored at the path are loaded before the run
+    (damaged or stale files degrade to a cold start, see
+    :class:`~repro.core.cache_store.ColumnCacheStore`) and the cache --
+    including everything this run computed -- is saved back after a
+    successful run.  Neither knob ever changes the evolved models, only
+    wall-clock time.
     """
+    settings = settings if settings is not None else CaffeineSettings()
+    store = (ColumnCacheStore(column_cache_path)
+             if column_cache_path is not None else None)
+    if store is not None and column_cache is None:
+        column_cache = BasisColumnCache(settings.basis_cache_size)
     engine = CaffeineEngine(train, test=test, settings=settings,
                             column_cache=column_cache)
-    return engine.run(progress=progress)
+    if store is not None:
+        # Only this run's namespace is admitted into the LRU (other runs'
+        # entries stay on disk untouched -- save() merges, never erases).
+        store.load_into(column_cache,
+                        dataset_key=engine.evaluator.dataset_key)
+    result = engine.run(progress=progress)
+    if store is not None:
+        store.save(column_cache)
+    return result

@@ -58,6 +58,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.compile import TreeCompiler, skeleton_and_params
 from repro.core.complexity import basis_function_complexity, model_complexity
 from repro.core.expression import ProductTerm, structural_key
 from repro.core.individual import (
@@ -108,16 +109,12 @@ def function_set_fingerprint(function_set) -> Tuple:
     operator ``"inv"`` yet bind different implementations.  A shared column
     cache therefore namespaces by this fingerprint too -- operator names
     plus the module/qualname of their implementations -- so runs only share
-    columns when same-named operators mean the same computation.
+    columns when same-named operators mean the same computation.  (Thin
+    wrapper around :meth:`repro.core.functions.FunctionSet.fingerprint`,
+    which the persistent :class:`~repro.core.cache_store.ColumnCacheStore`
+    also keys by.)
     """
-    entries = []
-    for op in function_set.unary + function_set.binary:
-        implementation = op.implementation
-        entries.append((op.name, op.arity,
-                        getattr(implementation, "__module__", ""),
-                        getattr(implementation, "__qualname__",
-                                repr(implementation))))
-    return tuple(sorted(entries))
+    return function_set.fingerprint()
 
 
 @dataclasses.dataclass
@@ -167,6 +164,13 @@ class BasisColumnCache:
     def __contains__(self, key: Tuple) -> bool:
         """Membership test without touching recency or the hit/miss stats."""
         return key in self._columns
+
+    def items(self):
+        """Snapshot of ``(key, column)`` entries in LRU order (oldest first),
+        without touching recency or the hit/miss stats.  This is what the
+        persistent :class:`~repro.core.cache_store.ColumnCacheStore`
+        serializes."""
+        return list(self._columns.items())
 
     def get(self, key: Tuple) -> Optional[np.ndarray]:
         """The cached column for ``key``, or None (counts a hit/miss)."""
@@ -438,15 +442,20 @@ def evaluate_individual_inplace(individual: Individual, X: np.ndarray,
 #: per-process copy of the sample matrix, installed once per worker by
 #: :func:`_init_worker` so tasks ship only the basis trees, not X
 _WORKER_X: Optional[np.ndarray] = None
+#: per-process tree compiler (``column_backend="compiled"`` only)
+_WORKER_COMPILER: Optional[TreeCompiler] = None
 
 
-def _init_worker(X: np.ndarray) -> None:
-    global _WORKER_X
+def _init_worker(X: np.ndarray, column_backend: str = "interp") -> None:
+    global _WORKER_X, _WORKER_COMPILER
     _WORKER_X = X
+    _WORKER_COMPILER = TreeCompiler(X) if column_backend == "compiled" else None
 
 
 def _column_task(basis: ProductTerm) -> np.ndarray:
     """Picklable worker: evaluate one basis function on the installed matrix."""
+    if _WORKER_COMPILER is not None:
+        return _WORKER_COMPILER.column(basis)
     return evaluate_basis_column(basis, _WORKER_X)
 
 
@@ -478,6 +487,19 @@ class PopulationEvaluator:
             else BasisColumnCache(self.settings.basis_cache_size)
         self.normalization = error_normalization(self.y)
         self._backend = self.settings.evaluation_backend
+        #: miss-path column computation: a fused-tape compiler
+        #: (``column_backend="compiled"``) or the node-by-node interpreter.
+        #: Bit-for-bit identical (see :mod:`repro.core.compile`).  Under the
+        #: compiled backend, basis keys are ``(skeleton, params)`` pairs --
+        #: the same one-walk-per-tree exact evaluation-recipe identity as a
+        #: structural key, but directly reusable as the compiler's kernel
+        #: cache key, so cache misses never re-walk the tree.
+        if self.settings.column_backend == "compiled":
+            self._compiler: Optional[TreeCompiler] = TreeCompiler(self.X)
+            self._basis_key = skeleton_and_params
+        else:
+            self._compiler = None
+            self._basis_key = structural_key
         #: column-cache key prefix: evaluators on byte-identical X *and* an
         #: implementation-identical function set share cached columns
         #: through a common cache; different data or differently-bound
@@ -543,16 +565,16 @@ class PopulationEvaluator:
 
     def basis_column(self, basis: ProductTerm) -> np.ndarray:
         """The (cached) evaluated column of one basis function."""
-        return self._column_for(structural_key(basis), basis)
+        return self._column_for(self._basis_key(basis), basis)
 
     def basis_matrix(self, bases: Sequence[ProductTerm]) -> np.ndarray:
         """Assemble an ``(n_samples, n_bases)`` matrix from cached columns."""
-        return self._matrix_from_keys([structural_key(b) for b in bases], bases)
+        return self._matrix_from_keys([self._basis_key(b) for b in bases], bases)
 
     # ------------------------------------------------------------------
     def evaluate_individual(self, individual: Individual) -> Individual:
         """Evaluate one individual through the caches (in place)."""
-        basis_keys = [structural_key(b) for b in individual.bases]
+        basis_keys = [self._basis_key(b) for b in individual.bases]
         return self._evaluate_with_keys(individual, basis_keys)
 
     def evaluate_population(self, individuals: Sequence[Individual]
@@ -573,7 +595,7 @@ class PopulationEvaluator:
         unique columns of *this* batch are still computed once (and through
         the configured parallel backend) via a batch-local overlay.
         """
-        keyed = [(individual, [structural_key(b) for b in individual.bases])
+        keyed = [(individual, [self._basis_key(b) for b in individual.bases])
                  for individual in individuals]
         if self.cache.max_entries > 0:
             pending = [(individual, keys) for individual, keys in keyed
@@ -614,10 +636,22 @@ class PopulationEvaluator:
             return column
         column = self.cache.get((self.dataset_key, key))
         if column is None:
-            column = evaluate_basis_column(basis, self.X)
+            column = self._evaluate_column(basis, key)
             self.n_columns_computed += 1
             self.cache.put((self.dataset_key, key), column)
         return column
+
+    def _evaluate_column(self, basis: ProductTerm, key: Tuple) -> np.ndarray:
+        """Compute one basis column through the configured column backend.
+
+        ``key`` is the caller's already-computed basis key; under the
+        compiled backend it *is* the ``(skeleton, params)`` pair, handed to
+        the compiler so a miss never re-walks the tree.
+        """
+        if self._compiler is not None:
+            skeleton, params = key
+            return self._compiler.column_from_key(skeleton, params, basis)
+        return evaluate_basis_column(basis, self.X)
 
     def _matrix_from_keys(self, keys: List[Tuple],
                           bases: Sequence[ProductTerm]) -> np.ndarray:
@@ -829,7 +863,7 @@ class PopulationEvaluator:
             return
         keys = list(missing.keys())
         bases = list(missing.values())
-        columns = self._compute_columns(bases)
+        columns = self._compute_columns(keys, bases)
         # No counter bumps here: the assembly pass accounts each of these
         # keys as a computation on its first lookup (via _fresh_keys), so a
         # basis occurrence is counted exactly once per evaluation.
@@ -838,9 +872,11 @@ class PopulationEvaluator:
             self._batch_columns[key] = column
             self.cache.put((self.dataset_key, key), column)
 
-    def _compute_columns(self, bases: List[ProductTerm]) -> List[np.ndarray]:
+    def _compute_columns(self, keys: List[Tuple],
+                         bases: List[ProductTerm]) -> List[np.ndarray]:
         if self._backend == "serial" or len(bases) < 2:
-            return [evaluate_basis_column(basis, self.X) for basis in bases]
+            return [self._evaluate_column(basis, key)
+                    for key, basis in zip(keys, bases)]
         if self._backend == "process":
             # map() preserves input order, so results line up with `bases`
             # regardless of completion order.  Pickling failures (custom
@@ -867,9 +903,11 @@ class PopulationEvaluator:
                     RuntimeWarning, stacklevel=4)
                 self._shutdown_executor()
                 self._backend = "thread"
-        # Threads share self.X directly -- nothing is serialized.
+        # Threads share self.X directly -- nothing is serialized (and the
+        # compiler, when configured, is thread-safe by design).
         return list(self._get_executor().map(
-            lambda basis: evaluate_basis_column(basis, self.X), bases))
+            lambda pair: self._evaluate_column(pair[1], pair[0]),
+            zip(keys, bases)))
 
     def _get_executor(self):
         """The evaluator's long-lived worker pool (created lazily once).
@@ -891,7 +929,7 @@ class PopulationEvaluator:
                 # then carry only the basis trees.
                 self._executor = concurrent.futures.ProcessPoolExecutor(
                     max_workers=workers, initializer=_init_worker,
-                    initargs=(self.X,))
+                    initargs=(self.X, self.settings.column_backend))
             else:
                 self._executor = concurrent.futures.ThreadPoolExecutor(
                     max_workers=workers)

@@ -28,13 +28,13 @@ place) and provide ``evaluate``, ``clone``, ``n_nodes``, ``depth`` and
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.functions import Operator
 from repro.core.variable_combo import VariableCombo
-from repro.core.weights import Weight, format_number
+from repro.core.weights import Weight
 
 __all__ = [
     "ExpressionNode",

@@ -21,7 +21,7 @@ how the search pressure stays on well-behaved expressions.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Tuple
 
 import numpy as np
 
@@ -228,6 +228,24 @@ class FunctionSet:
 
     def names(self) -> Tuple[str, ...]:
         return tuple(op.name for op in self._unary + self._binary)
+
+    def fingerprint(self) -> Tuple:
+        """Hashable identity of the operator *implementations*.
+
+        Two function sets share a fingerprint exactly when every same-named
+        operator is bound to the same implementation (module + qualname), so
+        caches keyed by it (the shared column cache, the persistent
+        :class:`~repro.core.cache_store.ColumnCacheStore`) never serve a
+        column computed under different operator semantics.
+        """
+        entries = []
+        for op in self._unary + self._binary:
+            implementation = op.implementation
+            entries.append((op.name, op.arity,
+                            getattr(implementation, "__module__", ""),
+                            getattr(implementation, "__qualname__",
+                                    repr(implementation))))
+        return tuple(sorted(entries))
 
     def without(self, *names: str) -> "FunctionSet":
         """A copy with the given operators removed."""

@@ -13,7 +13,7 @@ These helpers produce plain-text renderings:
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 

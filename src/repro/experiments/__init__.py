@@ -19,6 +19,7 @@ reduced budgets and prints the same rows/series the paper reports;
 from repro.experiments.setup import (
     OtaDatasets,
     generate_ota_datasets,
+    persistent_shared_cache,
     run_caffeine_for_target,
     shared_column_cache,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "generate_ota_datasets",
     "run_caffeine_for_target",
     "shared_column_cache",
+    "persistent_shared_cache",
     "Figure3Result",
     "run_figure3",
     "Table1Result",

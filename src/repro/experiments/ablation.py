@@ -17,15 +17,13 @@ ablations quantify both on the OTA data:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Mapping, Optional, Tuple
-
-import numpy as np
+from typing import Optional, Tuple
 
 from repro.core.engine import CaffeineResult, run_caffeine
 from repro.core.functions import polynomial_function_set, rational_function_set
 from repro.core.settings import CaffeineSettings
 from repro.experiments.setup import OtaDatasets, generate_ota_datasets, \
-    shared_column_cache
+    persistent_shared_cache
 from repro.gp.regression import PlainGPResult, PlainGPSettings, run_plain_gp
 
 __all__ = ["AblationEntry", "AblationResult", "run_ablation"]
@@ -95,8 +93,13 @@ def _entry_from_plain_gp(target: str, result: PlainGPResult) -> AblationEntry:
 def run_ablation(datasets: Optional[OtaDatasets] = None,
                  settings: Optional[CaffeineSettings] = None,
                  target: str = "PM",
-                 include_single_objective: bool = True) -> AblationResult:
-    """Run the ablation study for one OTA performance."""
+                 include_single_objective: bool = True,
+                 column_cache_path: Optional[str] = None) -> AblationResult:
+    """Run the ablation study for one OTA performance.
+
+    ``column_cache_path`` persists the shared column cache on disk (see
+    :func:`repro.experiments.setup.persistent_shared_cache`).
+    """
     datasets = datasets if datasets is not None else generate_ota_datasets()
     settings = settings if settings is not None else CaffeineSettings()
     train, test = datasets.for_target(target)
@@ -108,29 +111,33 @@ def run_ablation(datasets: Optional[OtaDatasets] = None,
     # rational/polynomial variants hash to their own namespaces -- cache
     # keys identify operators by name, so cross-set reuse is only enabled
     # between provably identical operator bindings.
-    column_cache = shared_column_cache(settings)
+    with persistent_shared_cache(settings, column_cache_path) as column_cache:
+        full = run_caffeine(train, test, settings, column_cache=column_cache)
+        entries.append(_entry_from_caffeine("CAFFEINE (full grammar)", target,
+                                            full))
 
-    full = run_caffeine(train, test, settings, column_cache=column_cache)
-    entries.append(_entry_from_caffeine("CAFFEINE (full grammar)", target, full))
+        rational = run_caffeine(
+            train, test, settings.copy(function_set=rational_function_set()),
+            column_cache=column_cache)
+        entries.append(_entry_from_caffeine("CAFFEINE (rationals)", target,
+                                            rational))
 
-    rational = run_caffeine(train, test,
-                            settings.copy(function_set=rational_function_set()),
-                            column_cache=column_cache)
-    entries.append(_entry_from_caffeine("CAFFEINE (rationals)", target, rational))
+        polynomial = run_caffeine(
+            train, test, settings.copy(function_set=polynomial_function_set()),
+            column_cache=column_cache)
+        entries.append(_entry_from_caffeine("CAFFEINE (polynomials)", target,
+                                            polynomial))
 
-    polynomial = run_caffeine(train, test,
-                              settings.copy(function_set=polynomial_function_set()),
-                              column_cache=column_cache)
-    entries.append(_entry_from_caffeine("CAFFEINE (polynomials)", target, polynomial))
-
-    if include_single_objective:
-        # Error-only pressure: make complexity essentially free so that the
-        # multi-objective machinery degenerates to single-objective search.
-        single = run_caffeine(train, test,
-                              settings.copy(basis_function_cost=0.0,
-                                            vc_exponent_cost=0.0),
-                              column_cache=column_cache)
-        entries.append(_entry_from_caffeine("CAFFEINE (error-only)", target, single))
+        if include_single_objective:
+            # Error-only pressure: make complexity essentially free so that
+            # the multi-objective machinery degenerates to single-objective
+            # search.
+            single = run_caffeine(train, test,
+                                  settings.copy(basis_function_cost=0.0,
+                                                vc_exponent_cost=0.0),
+                                  column_cache=column_cache)
+            entries.append(_entry_from_caffeine("CAFFEINE (error-only)",
+                                                target, single))
 
     gp_settings = PlainGPSettings(
         population_size=settings.population_size,

@@ -22,7 +22,7 @@ from repro.core.model import SymbolicModel
 from repro.core.report import comparison_table
 from repro.core.settings import CaffeineSettings
 from repro.experiments.setup import OtaDatasets, generate_ota_datasets, \
-    run_caffeine_for_target, shared_column_cache
+    persistent_shared_cache, run_caffeine_for_target
 from repro.posynomial.model import PosynomialModel, fit_posynomial
 from repro.posynomial.template import PosynomialTemplate
 
@@ -122,23 +122,29 @@ def run_figure4(datasets: Optional[OtaDatasets] = None,
                 settings: Optional[CaffeineSettings] = None,
                 targets: Optional[Sequence[str]] = None,
                 template: Optional[PosynomialTemplate] = None,
-                results: Optional[Mapping[str, CaffeineResult]] = None
-                ) -> Figure4Result:
-    """Regenerate the Figure 4 comparison."""
+                results: Optional[Mapping[str, CaffeineResult]] = None,
+                column_cache_path: Optional[str] = None) -> Figure4Result:
+    """Regenerate the Figure 4 comparison.
+
+    ``column_cache_path`` persists the sweep's shared column cache on disk
+    (see :func:`repro.experiments.setup.persistent_shared_cache`).
+    """
     datasets = datasets if datasets is not None else generate_ota_datasets()
     settings = settings if settings is not None else CaffeineSettings()
     selected = tuple(targets) if targets is not None else datasets.performance_names
 
     all_results: Dict[str, CaffeineResult] = dict(results or {})
     rows = []
-    column_cache = shared_column_cache(settings)
-    for target in selected:
-        train, test = datasets.for_target(target)
-        posynomial = fit_posynomial(train, test, template=template)
-        if target not in all_results:
-            all_results[target] = run_caffeine_for_target(
-                datasets, target, settings, column_cache=column_cache)
-        caffeine_model = select_caffeine_model(all_results[target], posynomial)
-        rows.append(Figure4Row(target=target, caffeine_model=caffeine_model,
-                               posynomial_model=posynomial))
+    with persistent_shared_cache(settings, column_cache_path) as column_cache:
+        for target in selected:
+            train, test = datasets.for_target(target)
+            posynomial = fit_posynomial(train, test, template=template)
+            if target not in all_results:
+                all_results[target] = run_caffeine_for_target(
+                    datasets, target, settings, column_cache=column_cache)
+            caffeine_model = select_caffeine_model(all_results[target],
+                                                   posynomial)
+            rows.append(Figure4Row(target=target,
+                                   caffeine_model=caffeine_model,
+                                   posynomial_model=posynomial))
     return Figure4Result(rows=tuple(rows), results=all_results)

@@ -15,10 +15,9 @@ for one performance, applying the same scaling conventions as the paper.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
-from typing import Dict, Mapping, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro.circuits.ota import (
     OTA_NOMINAL_POINT,
@@ -27,6 +26,7 @@ from repro.circuits.ota import (
     SymmetricalOta,
     simulate_ota_performances,
 )
+from repro.core.cache_store import ColumnCacheStore
 from repro.core.engine import CaffeineResult, run_caffeine
 from repro.core.evaluation import BasisColumnCache
 from repro.core.settings import CaffeineSettings
@@ -34,8 +34,8 @@ from repro.data.dataset import Dataset, train_test_from_doe
 from repro.doe.sampling import DoePlan
 
 __all__ = ["OtaDatasets", "generate_ota_datasets", "run_caffeine_for_target",
-           "shared_column_cache", "DEFAULT_TRAIN_DX", "DEFAULT_TEST_DX",
-           "DEFAULT_N_RUNS"]
+           "shared_column_cache", "persistent_shared_cache",
+           "DEFAULT_TRAIN_DX", "DEFAULT_TEST_DX", "DEFAULT_N_RUNS"]
 
 #: Paper values: training DOE step, testing DOE step, number of DOE runs.
 DEFAULT_TRAIN_DX = 0.10
@@ -140,16 +140,42 @@ def shared_column_cache(settings: Optional[CaffeineSettings] = None
     return BasisColumnCache(settings.basis_cache_size)
 
 
+@contextlib.contextmanager
+def persistent_shared_cache(settings: Optional[CaffeineSettings] = None,
+                            column_cache_path: Optional[str] = None
+                            ) -> Iterator[BasisColumnCache]:
+    """A shared column cache, optionally warm-started from / saved to disk.
+
+    The multi-target experiment drivers run their whole sweep inside this
+    context: with a ``column_cache_path`` the cache is pre-loaded from the
+    store before the first run (a missing or damaged file degrades to a
+    cold start) and written back -- now containing every column the sweep
+    computed -- when the sweep finishes without raising.  With no path this
+    is exactly :func:`shared_column_cache`.
+    """
+    cache = shared_column_cache(settings)
+    store = (ColumnCacheStore(column_cache_path)
+             if column_cache_path is not None else None)
+    if store is not None:
+        store.load_into(cache)
+    yield cache
+    if store is not None:
+        store.save(cache)
+
+
 def run_caffeine_for_target(datasets: OtaDatasets, target: str,
                             settings: Optional[CaffeineSettings] = None,
-                            column_cache: Optional[BasisColumnCache] = None
+                            column_cache: Optional[BasisColumnCache] = None,
+                            column_cache_path: Optional[str] = None
                             ) -> CaffeineResult:
     """Run CAFFEINE for one OTA performance with the paper's conventions.
 
     ``column_cache`` (see :func:`shared_column_cache`) may be shared across
-    the six performances; it never changes the models, only the wall-clock
-    time of every run after the first.
+    the six performances, and ``column_cache_path`` persists columns across
+    processes (see :func:`repro.core.engine.run_caffeine`); neither changes
+    the models, only the wall-clock time of every run after the first.
     """
     train, test = datasets.for_target(target)
     return run_caffeine(train, test, settings=settings,
-                        column_cache=column_cache)
+                        column_cache=column_cache,
+                        column_cache_path=column_cache_path)

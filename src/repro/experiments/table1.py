@@ -11,14 +11,12 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.core.engine import CaffeineResult
 from repro.core.model import SymbolicModel
 from repro.core.report import format_percent
 from repro.core.settings import CaffeineSettings
 from repro.experiments.setup import OtaDatasets, generate_ota_datasets, \
-    run_caffeine_for_target, shared_column_cache
+    persistent_shared_cache, run_caffeine_for_target
 
 __all__ = ["Table1Row", "Table1Result", "run_table1"]
 
@@ -91,12 +89,14 @@ def run_table1(datasets: Optional[OtaDatasets] = None,
                settings: Optional[CaffeineSettings] = None,
                targets: Optional[Sequence[str]] = None,
                error_target: float = DEFAULT_ERROR_TARGET,
-               results: Optional[Mapping[str, CaffeineResult]] = None
-               ) -> Table1Result:
+               results: Optional[Mapping[str, CaffeineResult]] = None,
+               column_cache_path: Optional[str] = None) -> Table1Result:
     """Regenerate Table I.
 
     ``results`` may carry pre-computed CAFFEINE runs (e.g. shared with the
-    Figure 3 driver) keyed by performance name; missing targets are run here.
+    Figure 3 driver) keyed by performance name; missing targets are run
+    here.  ``column_cache_path`` persists the sweep's shared column cache
+    on disk (see :func:`repro.experiments.setup.persistent_shared_cache`).
     """
     datasets = datasets if datasets is not None else generate_ota_datasets()
     settings = settings if settings is not None else CaffeineSettings()
@@ -104,12 +104,13 @@ def run_table1(datasets: Optional[OtaDatasets] = None,
 
     all_results: Dict[str, CaffeineResult] = dict(results or {})
     rows = []
-    column_cache = shared_column_cache(settings)
-    for target in selected:
-        if target not in all_results:
-            all_results[target] = run_caffeine_for_target(
-                datasets, target, settings, column_cache=column_cache)
-        model = select_table1_model(all_results[target], error_target)
-        rows.append(Table1Row(target=target, error_target=error_target, model=model))
+    with persistent_shared_cache(settings, column_cache_path) as column_cache:
+        for target in selected:
+            if target not in all_results:
+                all_results[target] = run_caffeine_for_target(
+                    datasets, target, settings, column_cache=column_cache)
+            model = select_table1_model(all_results[target], error_target)
+            rows.append(Table1Row(target=target, error_target=error_target,
+                                  model=model))
     return Table1Result(rows=tuple(rows), results=all_results,
                         error_target=error_target)

@@ -15,7 +15,7 @@ training data.  Two variants are provided:
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

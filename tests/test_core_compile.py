@@ -1,0 +1,347 @@
+"""Compiled tree evaluation == interpreter, bit for bit.
+
+The compiled column backend (:mod:`repro.core.compile`) promises that every
+evaluation path -- fresh tape, skeleton-cache reuse with different
+parameters, per-node fallback, interpreter warmup -- produces the *exact*
+bytes the interpreter produces, magnitude clip and NaN semantics included.
+These tests enforce that promise over random trees (hypothesis) and over
+hand-built edge cases, and check the evaluator/engine integration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings as hyp_settings
+from hypothesis import strategies as st
+
+from repro.core.compile import (
+    CompilationError,
+    TreeCompiler,
+    compile_basis_function,
+    skeleton_and_params,
+)
+from repro.core.evaluation import PopulationEvaluator
+from repro.core.expression import (
+    BinaryOpTerm,
+    ConditionalOpTerm,
+    ExpressionNode,
+    ProductTerm,
+    UnaryOpTerm,
+    WeightedSum,
+    WeightedTerm,
+)
+from repro.core.functions import default_function_set
+from repro.core.generator import ExpressionGenerator
+from repro.core.individual import Individual, evaluate_basis_column
+from repro.core.operators import VariationOperators
+from repro.core.settings import CaffeineSettings
+from repro.core.variable_combo import VariableCombo
+from repro.core.weights import Weight
+
+FAST = hyp_settings(max_examples=40, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+OPS = default_function_set()
+
+
+def _adversarial_X(rng: np.random.Generator, n_variables: int) -> np.ndarray:
+    """Inputs that trigger every edge: domains errors (log/sqrt of
+    negatives), division by zero, overflow past the magnitude clip, NaN."""
+    return np.concatenate([
+        rng.uniform(0.5, 2.0, size=(8, n_variables)),
+        rng.uniform(-3.0, 3.0, size=(8, n_variables)),
+        np.zeros((2, n_variables)),
+        np.full((1, n_variables), 1e12),
+        np.full((1, n_variables), -1e12),
+        np.full((1, n_variables), np.nan),
+    ])
+
+
+def _assert_bitwise_equal(compiled: np.ndarray, interpreted: np.ndarray,
+                          context: str = "") -> None:
+    assert compiled.shape == interpreted.shape, context
+    assert compiled.dtype == interpreted.dtype, context
+    assert compiled.tobytes() == interpreted.tobytes(), \
+        f"compiled column differs from interpreter {context}"
+
+
+# ----------------------------------------------------------------------
+# property tests over random trees
+# ----------------------------------------------------------------------
+@FAST
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n_variables=st.integers(min_value=1, max_value=6),
+       conditionals=st.booleans())
+def test_compiled_matches_interpreter_on_random_trees(seed, n_variables,
+                                                      conditionals):
+    settings = CaffeineSettings(population_size=10, n_generations=1,
+                                random_seed=seed,
+                                enable_conditionals=conditionals)
+    rng = np.random.default_rng(seed)
+    generator = ExpressionGenerator(n_variables, settings, rng=rng)
+    X = _adversarial_X(rng, n_variables)
+    compiler = TreeCompiler(X)
+    for basis in generator.random_basis_functions(5):
+        interpreted = evaluate_basis_column(basis, X)
+        # Twice: first sighting (interpreter warmup) and the compiled tape.
+        _assert_bitwise_equal(compiler.column(basis), interpreted, "(warmup)")
+        _assert_bitwise_equal(compiler.column(basis), interpreted, "(tape)")
+
+
+@FAST
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n_variables=st.integers(min_value=1, max_value=5))
+def test_skeleton_reuse_matches_interpreter_on_mutants(seed, n_variables):
+    """Parameter-mutated trees reuse the parent's tape, bit for bit."""
+    settings = CaffeineSettings(population_size=10, n_generations=1,
+                                random_seed=seed)
+    rng = np.random.default_rng(seed)
+    generator = ExpressionGenerator(n_variables, settings, rng=rng)
+    operators = VariationOperators(generator, settings, rng=rng)
+    X = _adversarial_X(rng, n_variables)
+    compiler = TreeCompiler(X)
+    basis = generator.random_product_term()
+    # Force the skeleton into the compiled state (sighting + recurrence).
+    compiler.column(basis)
+    compiler.column(basis.clone())
+    for _ in range(4):
+        mutant = operators.parameter_mutation(
+            Individual(bases=[basis.clone()])).bases[0]
+        _assert_bitwise_equal(compiler.column(mutant),
+                              evaluate_basis_column(mutant, X), "(mutant)")
+    vc_mutant = operators.vc_mutation(Individual(bases=[basis.clone()]))
+    if vc_mutant is not None:
+        mutant = vc_mutant.bases[0]
+        _assert_bitwise_equal(compiler.column(mutant),
+                              evaluate_basis_column(mutant, X), "(vc mutant)")
+
+
+@FAST
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_skeleton_walk_matches_lowering_order(seed):
+    """The skeleton walk and the tape builder agree on parameter order."""
+    settings = CaffeineSettings(population_size=10, n_generations=1,
+                                random_seed=seed, enable_conditionals=True)
+    rng = np.random.default_rng(seed)
+    generator = ExpressionGenerator(4, settings, rng=rng)
+    X = rng.uniform(0.5, 2.0, size=(10, 4))
+    compiler = TreeCompiler(X)
+    for basis in generator.random_basis_functions(4):
+        _skeleton, params = skeleton_and_params(basis)
+        kernel = compiler.compile(basis)
+        assert kernel.compiled_params == params
+        _assert_bitwise_equal(kernel(params),
+                              evaluate_basis_column(basis, X), "(order)")
+
+
+@FAST
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n_individuals=st.integers(min_value=1, max_value=6))
+def test_evaluator_backends_bitwise_identical(seed, n_individuals):
+    """PopulationEvaluator: column_backend compiled == interp, bit for bit."""
+    settings = CaffeineSettings(population_size=10, n_generations=1,
+                                random_seed=seed, max_basis_functions=6)
+    rng = np.random.default_rng(seed)
+    generator = ExpressionGenerator(3, settings, rng=rng)
+    X = np.random.default_rng(seed + 1).uniform(0.2, 2.0, size=(40, 3))
+    y = np.random.default_rng(seed + 2).normal(size=40)
+    population = [Individual(bases=generator.random_basis_functions())
+                  for _ in range(n_individuals)]
+    reference = [ind.clone() for ind in population]
+    compiled = PopulationEvaluator(X, y,
+                                   settings.copy(column_backend="compiled"))
+    interp = PopulationEvaluator(X, y, settings.copy(column_backend="interp"))
+    compiled.evaluate_population(population)
+    interp.evaluate_population(reference)
+    # Second pass: parameter mutants hit the compiled skeleton cache.
+    operators = VariationOperators(generator, settings, rng=rng)
+    mutants = [operators.parameter_mutation(ind.clone()) for ind in population]
+    mutant_reference = [ind.clone() for ind in mutants]
+    compiled.evaluate_population(mutants)
+    interp.evaluate_population(mutant_reference)
+    for a, b in zip(population + mutants, reference + mutant_reference):
+        assert a.error == b.error
+        assert a.complexity == b.complexity
+        assert (a.fit is None) == (b.fit is None)
+        if a.fit is not None:
+            assert a.fit.intercept == b.fit.intercept
+            assert np.array_equal(a.fit.coefficients, b.fit.coefficients)
+
+
+# ----------------------------------------------------------------------
+# hand-built edge cases
+# ----------------------------------------------------------------------
+class TestEdgeCases:
+    X = np.array([[0.5, 2.0], [1.5, 0.0], [-1.0, 3.0], [1e12, -1e12],
+                  [np.nan, 1.0]])
+
+    def check(self, basis: ProductTerm) -> None:
+        compiler = TreeCompiler(self.X)
+        interpreted = evaluate_basis_column(basis, self.X)
+        _assert_bitwise_equal(compiler.column(basis), interpreted)
+        _assert_bitwise_equal(compiler.column(basis.clone()), interpreted)
+        _assert_bitwise_equal(compiler.column(basis.clone()), interpreted)
+
+    def test_constant_vc_only(self):
+        self.check(ProductTerm(vc=VariableCombo((0, 0))))
+
+    def test_plain_monomial(self):
+        self.check(ProductTerm(vc=VariableCombo((2, -1))))
+
+    def test_magnitude_clip_maps_to_nan(self):
+        basis = ProductTerm(vc=VariableCombo((4, 0)))  # (1e12)^4 -> clip
+        column = TreeCompiler(self.X).column(basis)
+        assert np.isnan(column[3])
+        self.check(basis)
+
+    def test_division_by_zero_and_log_of_negative(self):
+        inv = UnaryOpTerm(op=OPS.operator("inv"),
+                          argument=WeightedSum(
+                              offset=Weight.from_value(0.0),
+                              terms=[WeightedTerm(
+                                  weight=Weight.from_value(1.0),
+                                  term=ProductTerm(vc=VariableCombo((0, 1))))]))
+        ln = UnaryOpTerm(op=OPS.operator("ln"),
+                         argument=WeightedSum(
+                             offset=Weight.from_value(0.0),
+                             terms=[WeightedTerm(
+                                 weight=Weight.from_value(1.0),
+                                 term=ProductTerm(vc=VariableCombo((1, 0))))]))
+        self.check(ProductTerm(vc=None, ops=[inv, ln]))
+
+    def test_binary_weight_arguments_both_sides(self):
+        expr = WeightedSum(offset=Weight.from_value(0.5),
+                           terms=[WeightedTerm(
+                               weight=Weight.from_value(2.0),
+                               term=ProductTerm(vc=VariableCombo((1, 0))))])
+        power = BinaryOpTerm(op=OPS.operator("pow"), left=expr,
+                             right=Weight.from_value(2.0))
+        division = BinaryOpTerm(op=OPS.operator("div"),
+                                left=Weight.from_value(1.0),
+                                right=expr.clone())
+        self.check(ProductTerm(vc=None, ops=[power, division]))
+
+    def test_empty_weighted_sum_argument(self):
+        sqrt = UnaryOpTerm(op=OPS.operator("sqrt"),
+                           argument=WeightedSum(offset=Weight.from_value(4.0)))
+        self.check(ProductTerm(vc=None, ops=[sqrt]))
+
+    def test_conditional_with_weight_and_expression_thresholds(self):
+        def sum_of(index):
+            return WeightedSum(offset=Weight.from_value(0.0),
+                               terms=[WeightedTerm(
+                                   weight=Weight.from_value(1.0),
+                                   term=ProductTerm(vc=VariableCombo(
+                                       tuple(1 if i == index else 0
+                                             for i in range(2)))))])
+
+        lte = OPS.operator("min")  # pseudo-record carrying a name
+        for threshold in (Weight.from_value(1.0), sum_of(1)):
+            conditional = ConditionalOpTerm(op=lte, test=sum_of(0),
+                                            threshold=threshold,
+                                            if_true=sum_of(1),
+                                            if_false=sum_of(0))
+            self.check(ProductTerm(vc=None, ops=[conditional]))
+
+    def test_negative_zero_offset_distinct_from_positive_zero(self):
+        for offset in (0.0, -0.0):
+            weight = Weight.from_value(1.0)
+            weight_sum = WeightedSum(
+                offset=Weight(stored=offset, exponent_bound=10.0),
+                terms=[WeightedTerm(weight=weight,
+                                    term=ProductTerm(vc=VariableCombo((1, 0))))])
+            self.check(ProductTerm(
+                vc=None, ops=[UnaryOpTerm(op=OPS.operator("abs"),
+                                          argument=weight_sum)]))
+
+
+# ----------------------------------------------------------------------
+# fallbacks and API behavior
+# ----------------------------------------------------------------------
+class _ExoticNode(ExpressionNode):
+    """An op-term the compiler has never heard of (per-node fallback)."""
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        with np.errstate(all="ignore"):
+            return np.tanh(X[:, 0])
+
+    def clone(self):
+        return _ExoticNode()
+
+
+class _HollowNode(ExpressionNode):
+    """A node without even an evaluate implementation."""
+
+    def clone(self):
+        return _HollowNode()
+
+
+def test_unknown_node_falls_back_per_node():
+    X = np.array([[0.5], [2.0], [-3.0]])
+    basis = ProductTerm(vc=VariableCombo((2,)), ops=[_ExoticNode()])
+    compiler = TreeCompiler(X)
+    interpreted = evaluate_basis_column(basis, X)
+    for _ in range(2):  # opaque trees compile fresh every call
+        _assert_bitwise_equal(compiler.column(basis), interpreted)
+    assert compiler.n_compiled == 2
+    with pytest.raises(CompilationError):
+        skeleton_and_params(basis)
+
+
+def test_node_without_evaluate_uses_interpreter_error():
+    X = np.array([[0.5], [2.0]])
+    basis = ProductTerm(vc=VariableCombo((1,)), ops=[_HollowNode()])
+    with pytest.raises(NotImplementedError):
+        TreeCompiler(X).column(basis)
+
+
+def test_variable_count_mismatch_raises_like_interpreter():
+    basis = ProductTerm(vc=VariableCombo((1, 2, 3)))
+    with pytest.raises(ValueError, match="columns"):
+        TreeCompiler(np.ones((4, 2))).column(basis)
+
+
+def test_kernel_cache_respects_capacity_and_warmup():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0.5, 2.0, size=(10, 2))
+    compiler = TreeCompiler(X, max_kernels=1)
+    a = ProductTerm(vc=VariableCombo((1, 0)))
+    b = ProductTerm(vc=VariableCombo((0, 1)))
+    for basis in (a, b, a, b):  # first sightings, then compilations
+        compiler.column(basis)
+    assert compiler.n_interpreted == 2
+    assert compiler.n_compiled == 2
+    assert len(compiler._kernels) == 1  # LRU capacity enforced
+    # max_kernels=0 compiles fresh every time, still correct
+    uncached = TreeCompiler(X, max_kernels=0)
+    interpreted = evaluate_basis_column(a, X)
+    for _ in range(2):
+        _assert_bitwise_equal(uncached.column(a), interpreted)
+    assert uncached.n_compiled == 2
+
+
+def test_compile_basis_function_convenience():
+    X = np.array([[0.5, 1.0], [2.0, 3.0]])
+    basis = ProductTerm(vc=VariableCombo((1, -1)))
+    kernel = compile_basis_function(basis, X)
+    _assert_bitwise_equal(kernel(kernel.compiled_params),
+                          evaluate_basis_column(basis, X))
+
+
+def test_engine_fixed_seed_identical_across_column_backends():
+    """A full run (engine + simplify) is backend-independent, model for model."""
+    from repro.core.engine import run_caffeine
+    from repro.data.dataset import Dataset
+
+    rng = np.random.default_rng(7)
+    X = rng.uniform(0.5, 2.0, size=(40, 3))
+    y = 1.0 + X[:, 0] * X[:, 1] + np.sqrt(X[:, 2])
+    train = Dataset(X=X, y=y, variable_names=("a", "b", "c"), target_name="t")
+    base = CaffeineSettings.fast_settings(random_seed=11)
+    results = {}
+    for backend in ("interp", "compiled"):
+        result = run_caffeine(train, settings=base.copy(column_backend=backend))
+        results[backend] = [(m.train_error, m.complexity)
+                            for m in result.tradeoff]
+    assert results["compiled"] == results["interp"]

@@ -9,7 +9,7 @@ from repro.core.engine import CaffeineEngine, run_caffeine
 from repro.core.generator import ExpressionGenerator
 from repro.core.individual import Individual
 from repro.core.expression import ProductTerm
-from repro.core.model import SymbolicModel, TradeoffSet
+from repro.core.model import TradeoffSet
 from repro.core.report import (
     comparison_table,
     format_percent,

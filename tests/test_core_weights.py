@@ -123,3 +123,45 @@ class TestFormatting:
     def test_render_matches_format(self):
         weight = Weight.from_value(190.6)
         assert weight.render() == format_number(190.6)
+
+
+class TestTransformClipBitEquivalence:
+    """The branch-based clip in transform_stored_value replicates np.clip
+    bit for bit -- the property its docstring promises."""
+
+    @staticmethod
+    def _np_clip_reference(stored, bound):
+        """The pre-optimization implementation (np.clip-based)."""
+        clipped = float(np.clip(stored, -2.0 * bound, 2.0 * bound))
+        if clipped == 0.0:
+            return 0.0
+        if clipped > 0:
+            return 10.0 ** (clipped - bound)
+        return -(10.0 ** (-clipped - bound))
+
+    def test_matches_np_clip_reference_bitwise(self):
+        import math
+
+        from hypothesis import given, settings as hyp_settings
+        from hypothesis import strategies as st
+
+        edge_values = [0.0, -0.0, 20.0, -20.0, 20.000000001, -20.000000001,
+                       1e-300, -1e-300, float("nan"), float("inf"),
+                       float("-inf"), math.nextafter(0.0, 1.0),
+                       math.nextafter(0.0, -1.0)]
+
+        # bound <= 300 keeps 10**bound finite: larger bounds overflow in
+        # Python pow identically in both implementations (pre-existing).
+        @hyp_settings(max_examples=300, deadline=None)
+        @given(stored=st.one_of(st.sampled_from(edge_values),
+                                st.floats(width=64, allow_nan=True,
+                                          allow_infinity=True)),
+               bound=st.one_of(st.just(10.0),
+                               st.floats(min_value=0.5, max_value=300.0)))
+        def run(stored, bound):
+            ours = transform_stored_value(stored, bound)
+            reference = self._np_clip_reference(stored, bound)
+            assert np.float64(ours).tobytes() == \
+                np.float64(reference).tobytes(), (stored, bound)
+
+        run()

@@ -139,8 +139,11 @@ class TestPaperQualityMeasures:
         rng = np.random.default_rng(1)
         x_train = rng.uniform(-1.0, 1.0, size=300)
         x_test = rng.uniform(-0.3, 0.3, size=300)
-        truth = lambda x: 1.0 + 2.0 * x + 0.5 * x ** 2
-        model = lambda x: 1.0 + 2.0 * x  # misses the curvature
+        def truth(x):
+            return 1.0 + 2.0 * x + 0.5 * x ** 2
+
+        def model(x):  # misses the curvature
+            return 1.0 + 2.0 * x
         normalization = error_normalization(truth(x_train))
         train_error = relative_rmse(truth(x_train), model(x_train), normalization)
         test_error = relative_rmse(truth(x_test), model(x_test), normalization)
