@@ -295,6 +295,93 @@ def _measure_persistent_cache(engine, batches, tmp_path):
     return report, equal
 
 
+def _measure_session_api(train):
+    """Legacy ``run_caffeine`` shim vs the Problem/Session path, PR 4's API.
+
+    Both run the same small fixed-seed workload; the section records wall
+    clocks and -- the part the trajectory gate cares about -- whether the
+    resulting Pareto fronts are bit-for-bit identical, which is the
+    guarantee the deprecation shims advertise.
+    """
+    from repro.core.engine import run_caffeine
+    from repro.core.problem import Problem
+    from repro.core.session import Session
+
+    settings = WORKLOAD_SETTINGS.copy(n_generations=5)
+
+    legacy_start = time.perf_counter()
+    legacy = run_caffeine(train, settings=settings)
+    legacy_seconds = time.perf_counter() - legacy_start
+
+    session_start = time.perf_counter()
+    session = Session([Problem(train=train)], settings=settings).run().single()
+    session_seconds = time.perf_counter() - session_start
+
+    def front(result):
+        return [(m.train_error, m.complexity, m.expression())
+                for m in result.tradeoff]
+
+    equal = front(legacy) == front(session)
+    report = {
+        "workload": "figure3-PM, 5 generations, fixed seed",
+        "legacy_run_caffeine_seconds": round(legacy_seconds, 4),
+        "session_seconds": round(session_seconds, 4),
+        "n_models": legacy.n_models,
+    }
+    return report, equal
+
+
+def _measure_concurrent_store(tmp_path):
+    """Two simultaneous ``ColumnCacheStore.save`` cycles on one path.
+
+    The stores' advisory lock serializes the read-merge-write cycles, so
+    the union of both writers' entries must survive -- the PR-4 fix for
+    the last-writer-wins hazard.  Two threads with separate store
+    instances exercise the same flock exclusion as two processes (each
+    ``save`` opens the lock file independently), at bench-smoke cost.
+    """
+    import threading
+
+    from repro.core.evaluation import BasisColumnCache
+
+    import numpy as np
+
+    path = os.path.join(tmp_path, "concurrent-columns.cache")
+    n_entries = 200
+    barrier = threading.Barrier(2)
+    durations = {}
+
+    def writer(worker_id):
+        cache = BasisColumnCache(10000)
+        for index in range(n_entries):
+            cache.put((f"ds-{worker_id}", ("col", index)),
+                      np.full(8, worker_id * 1000.0 + index))
+        barrier.wait(timeout=30)
+        start = time.perf_counter()
+        ColumnCacheStore(path).save(cache)
+        durations[worker_id] = time.perf_counter() - start
+
+    threads = [threading.Thread(target=writer, args=(worker_id,))
+               for worker_id in (1, 2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    merged = ColumnCacheStore(path).load(max_entries=10000)
+    stored = {key for key, _column in merged.items()}
+    expected = {(f"ds-{worker_id}", ("col", index))
+                for worker_id in (1, 2) for index in range(n_entries)}
+    no_lost_entries = expected <= stored
+    report = {
+        "entries_per_writer": n_entries,
+        "stored_entries": len(merged),
+        "first_save_seconds": round(min(durations.values()), 4),
+        "second_save_seconds": round(max(durations.values()), 4),
+    }
+    return report, no_lost_entries
+
+
 def _measure_sort(population):
     """NSGA-II ranking time on one realistic population, per backend."""
     report = {"population_size": len(population)}
@@ -323,6 +410,9 @@ def test_population_evaluation_throughput(benchmark, bench_datasets,
     cache_report, cache_equal = _measure_persistent_cache(
         engine, offspring_batches, str(tmp_path))
     sort_report = _measure_sort(population_batches[-1])
+    session_report, session_equal = _measure_session_api(train)
+    concurrent_report, concurrent_ok = _measure_concurrent_store(
+        str(tmp_path))
 
     equivalence = {
         "offspring_naive_vs_direct": offspring_equal["direct"],
@@ -331,6 +421,8 @@ def test_population_evaluation_throughput(benchmark, bench_datasets,
         "reevaluation_naive_vs_gram": reevaluation_equal["gram"],
         "interp_vs_compiled": column_equal,
         "cold_vs_warm_cache": cache_equal,
+        "legacy_shim_vs_session": session_equal,
+        "concurrent_store_writers_lose_nothing": concurrent_ok,
     }
     equivalence["verified"] = all(equivalence.values())
 
@@ -343,6 +435,8 @@ def test_population_evaluation_throughput(benchmark, bench_datasets,
         "column_backend": column_report,
         "persistent_cache": cache_report,
         "pareto_sort": sort_report,
+        "session_api": session_report,
+        "concurrent_store": concurrent_report,
         "equivalence": equivalence,
     }
     write_output("bench_evaluation.json", json.dumps(report, indent=2))

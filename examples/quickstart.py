@@ -2,55 +2,100 @@
 """Quickstart: template-free symbolic regression with CAFFEINE.
 
 This example builds a small synthetic dataset with a known rational ground
-truth, runs CAFFEINE with a modest budget, and prints the resulting trade-off
-between error and complexity.  CAFFEINE is expected to recover an expression
-very close to the generating formula at the accurate end of the trade-off
-while also offering simpler, slightly less accurate alternatives.
+truth and models it two ways:
+
+1. through :class:`repro.SymbolicRegressor`, the sklearn-style facade
+   (``fit(X, y)`` / ``predict(X)`` / ``pareto_front_``);
+2. through :class:`repro.Session`, the multi-problem orchestrator, running
+   two related targets over one shared column cache.
+
+CAFFEINE is expected to recover an expression very close to the generating
+formula at the accurate end of the trade-off while also offering simpler,
+slightly less accurate alternatives.
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py            # the default budget (~30 s)
+    python examples/quickstart.py --quick    # tiny CI-sized budget (~2 s)
 """
 
 from __future__ import annotations
 
+import argparse
+
 import numpy as np
 
-from repro import CaffeineSettings, Dataset, run_caffeine
+from repro import CaffeineSettings, Problem, Session, SymbolicRegressor
 from repro.core.report import tradeoff_table
 
 
-def make_dataset(n_samples: int, seed: int) -> Dataset:
+def make_data(n_samples: int, seed: int):
     """Samples of ``y = 3 + 2*a/b + 0.5*c`` on a positive design region."""
     rng = np.random.default_rng(seed)
     X = rng.uniform(0.5, 2.0, size=(n_samples, 3))
     y = 3.0 + 2.0 * X[:, 0] / X[:, 1] + 0.5 * X[:, 2]
-    return Dataset(X, y, variable_names=("a", "b", "c"), target_name="y")
+    return X, y
 
 
 def main() -> None:
-    train = make_dataset(n_samples=150, seed=0)
-    test = make_dataset(n_samples=100, seed=1)
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny budget for smoke tests (seconds)")
+    args = parser.parse_args()
 
-    settings = CaffeineSettings(
-        population_size=60,
-        n_generations=25,
-        max_basis_functions=6,
-        random_seed=7,
-    )
-    result = run_caffeine(train, test, settings)
+    X, y = make_data(n_samples=150, seed=0)
+    X_test, y_test = make_data(n_samples=100, seed=1)
+
+    if args.quick:
+        estimator = SymbolicRegressor(population_size=24, n_generations=5,
+                                      max_basis_functions=6, random_seed=7,
+                                      feature_names=("a", "b", "c"))
+    else:
+        estimator = SymbolicRegressor(population_size=60, n_generations=25,
+                                      max_basis_functions=6, random_seed=7,
+                                      feature_names=("a", "b", "c"))
+
+    # ------------------------------------------------------------------
+    # 1. The sklearn-style facade: fit, inspect the trade-off, predict.
+    # ------------------------------------------------------------------
+    estimator.fit(X, y, X_test=X_test, y_test=y_test)
+    result = estimator.result_
 
     print("CAFFEINE quickstart: modeling y = 3 + 2*a/b + 0.5*c")
     print(f"  {result.n_models} models on the error/complexity trade-off "
           f"({result.runtime_seconds:.1f} s)\n")
-    print(tradeoff_table(result.tradeoff, title="Trade-off (errors in %):"))
+    print(tradeoff_table(estimator.pareto_front_,
+                         title="Trade-off (errors in %):"))
 
-    best = result.best_model()
+    best = estimator.best_model_
     print("\nMost accurate model on test data:")
     print(f"  train error {best.train_error_percent:.2f}%  "
           f"test error {best.test_error_percent:.2f}%")
-    print(f"  y ~ {best.expression()}")
+    print(f"  y ~ {estimator.expression()}")
     print(f"  variables used: {', '.join(best.used_variables())}")
+    print(f"  R^2 on held-out data: {estimator.score(X_test, y_test):.4f}")
+
+    # ------------------------------------------------------------------
+    # 2. The Session orchestrator: two targets, one shared column cache.
+    # ------------------------------------------------------------------
+    settings = CaffeineSettings(
+        population_size=estimator.population_size,
+        n_generations=estimator.n_generations,
+        max_basis_functions=6, random_seed=7)
+    problems = [
+        Problem.from_arrays(X, y, variable_names=("a", "b", "c"),
+                            target_name="smooth"),
+        Problem.from_arrays(X, y + 0.2 * X[:, 2] ** 2,
+                            variable_names=("a", "b", "c"),
+                            target_name="bowed"),
+    ]
+    outcome = Session(problems, settings=settings).run()
+    print(f"\nSession over {len(outcome)} related targets "
+          f"({outcome.runtime_seconds:.1f} s total):")
+    for name, run in outcome.items():
+        chosen = run.best_model()
+        print(f"  {name:>7}: {run.n_models} models, best train error "
+              f"{chosen.train_error_percent:.2f}%  ->  {chosen.expression()}")
 
 
 if __name__ == "__main__":

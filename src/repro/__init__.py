@@ -6,7 +6,7 @@ Functions and Genetic Programming* (DATE 2005), as a complete Python library:
 
 * :mod:`repro.core` -- the CAFFEINE algorithm: canonical-form grammar,
   grammar-respecting genetic operators, NSGA-II error/complexity search,
-  PRESS-based simplification;
+  PRESS-based simplification, pluggable backend registries;
 * :mod:`repro.circuits` -- the data-generation substrate: square-law MOSFETs,
   MNA-based DC/AC analysis, and the symmetrical CMOS OTA whose six
   performances the paper models;
@@ -18,29 +18,68 @@ Functions and Genetic Programming* (DATE 2005), as a complete Python library:
 * :mod:`repro.experiments` -- drivers that regenerate every table and figure
   of the paper's evaluation section.
 
-Quick start::
+Quick start -- the sklearn-style facade fits any numeric dataset:
 
-    from repro import CaffeineSettings, run_caffeine
-    from repro.experiments import generate_ota_datasets
+    >>> import numpy as np
+    >>> from repro import SymbolicRegressor
+    >>> rng = np.random.default_rng(0)
+    >>> X = rng.uniform(0.5, 2.0, size=(40, 2))
+    >>> y = 1.0 + 2.0 * X[:, 0] / X[:, 1]
+    >>> est = SymbolicRegressor(population_size=20, n_generations=3,
+    ...                         random_seed=0)
+    >>> est = est.fit(X, y)
+    >>> est.predict(X).shape
+    (40,)
+    >>> len(est.pareto_front_) >= 1   # the full error/complexity trade-off
+    True
 
-    datasets = generate_ota_datasets()
-    train, test = datasets.for_target("PM")
-    result = run_caffeine(train, test, CaffeineSettings(population_size=60,
-                                                        n_generations=25))
-    print(result.best_model().expression())
+Multi-run orchestration -- a :class:`Session` runs a list of
+:class:`Problem`\\ s (serially, or on a process pool with ``jobs=n``) over
+one shared column cache:
+
+    >>> from repro import CaffeineSettings, Problem, Session
+    >>> problems = [Problem.from_arrays(X, y, target_name="t1"),
+    ...             Problem.from_arrays(X, X[:, 0] ** 2, target_name="t2")]
+    >>> settings = CaffeineSettings(population_size=16, n_generations=2,
+    ...                             random_seed=0)
+    >>> outcome = Session(problems, settings=settings).run()
+    >>> outcome.names
+    ('t1', 't2')
+    >>> outcome["t1"].n_models >= 1
+    True
+
+The legacy one-call entry point :func:`run_caffeine` remains supported as
+a bit-for-bit shim over the Session path; see the migration table in
+``benchmarks/README.md``.  New column/fit/pareto/evaluation backends
+register by name (:func:`repro.core.register_backend`) and every
+``CaffeineSettings.*_backend`` field accepts registered names.
 """
 
 from repro.core import (
+    BACKEND_KINDS,
+    BackendRegistry,
     CaffeineEngine,
     CaffeineResult,
     CaffeineSettings,
     FunctionSet,
     BasisColumnCache,
     ColumnCacheStore,
+    FileLock,
     GramPool,
     PopulationEvaluator,
+    Problem,
+    ProgressPrinter,
+    Session,
+    SessionCallback,
+    SessionResult,
     TreeCompiler,
+    available_backends,
+    backend_names,
+    backend_registry,
     dataset_fingerprint,
+    get_backend,
+    register_backend,
+    unregister_backend,
     SymbolicModel,
     TradeoffSet,
     default_function_set,
@@ -49,11 +88,29 @@ from repro.core import (
     run_caffeine,
 )
 from repro.data import Dataset
+from repro.estimator import SymbolicRegressor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # problem/session/facade API (preferred)
+    "Problem",
+    "Session",
+    "SessionCallback",
+    "SessionResult",
+    "ProgressPrinter",
+    "SymbolicRegressor",
+    # backend registries
+    "BACKEND_KINDS",
+    "BackendRegistry",
+    "available_backends",
+    "backend_names",
+    "backend_registry",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+    # engine layer (run_caffeine is the legacy shim)
     "run_caffeine",
     "CaffeineEngine",
     "CaffeineResult",
@@ -63,6 +120,7 @@ __all__ = [
     "PopulationEvaluator",
     "BasisColumnCache",
     "ColumnCacheStore",
+    "FileLock",
     "GramPool",
     "TreeCompiler",
     "dataset_fingerprint",

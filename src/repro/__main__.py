@@ -1,17 +1,25 @@
-"""Command-line interface: regenerate the paper's experiments from a shell.
+"""Command-line interface: the paper's experiments plus a generic ``run``.
 
 Usage::
 
     python -m repro figure3 --targets PM SRp --population 60 --generations 20
-    python -m repro table1
+    python -m repro table1 --jobs 3 --column-cache columns.cache
     python -m repro table2
     python -m repro figure4
     python -m repro ablation --target SRp
     python -m repro datasets            # print the dataset summary only
+    python -m repro run data.csv --target y --test holdout.csv
 
-Every command samples the OTA datasets (243-run orthogonal hypercube,
-dx=0.10 train / dx=0.03 test), runs the requested experiment at the chosen
-budget and prints the paper-style table or series to stdout.
+The experiment subcommands sample the OTA datasets (243-run orthogonal
+hypercube, dx=0.10 train / dx=0.03 test), run the requested sweep through a
+:class:`~repro.core.session.Session` at the chosen budget and print the
+paper-style table or series to stdout.  ``--jobs`` runs a sweep's targets
+on a process pool and ``--column-cache`` persists the shared column cache
+across invocations (both wall-clock knobs; results are identical).
+
+``run`` opens an arbitrary header-row CSV as a modeling problem
+(:meth:`~repro.core.problem.Problem.from_csv`) and prints the resulting
+Pareto trade-off -- the paper's workflow on any numeric dataset.
 """
 
 from __future__ import annotations
@@ -20,6 +28,9 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.core.problem import Problem
+from repro.core.report import tradeoff_table
+from repro.core.session import ProgressPrinter, Session
 from repro.core.settings import CaffeineSettings
 from repro.experiments import (
     generate_ota_datasets,
@@ -30,30 +41,109 @@ from repro.experiments import (
     run_table2,
 )
 
-COMMANDS = ("datasets", "figure3", "table1", "table2", "figure4", "ablation")
+#: All subcommands (experiment regenerators plus the generic ``run``).
+COMMANDS = ("datasets", "figure3", "table1", "table2", "figure4", "ablation",
+            "run")
+
+
+def _budget_parser() -> argparse.ArgumentParser:
+    """Shared budget options (a subparser parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("budget")
+    group.add_argument("--population", type=int, default=80,
+                       help="population size (default: 80)")
+    group.add_argument("--generations", type=int, default=30,
+                       help="number of generations (default: 30)")
+    group.add_argument("--seed", type=int, default=0,
+                       help="random seed (default: 0)")
+    group.add_argument("--paper-budget", action="store_true",
+                       help="use the paper's full budget (population 200, "
+                            "5000 generations; hours per performance)")
+    return parent
+
+
+def _cache_parser() -> argparse.ArgumentParser:
+    """The persistent-column-cache option (a subparser parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--column-cache", default=None, metavar="PATH",
+        help="persist the shared column cache at PATH so repeated "
+             "invocations start warm (never changes the models)")
+    return parent
+
+
+def _jobs_parser() -> argparse.ArgumentParser:
+    """The process-pool option -- only for multi-run sweep subcommands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--jobs", type=int, default=1,
+        help="run up to N sweep targets concurrently on a process pool "
+             "(default: 1 = serial; results are identical either way)")
+    return parent
+
+
+def _ota_parser() -> argparse.ArgumentParser:
+    """OTA dataset options shared by the experiment subcommands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--runs", type=int, default=243,
+                        help="DOE runs per dataset, a power of 3 "
+                             "(default: 243)")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="CAFFEINE reproduction: regenerate the paper's experiments.")
-    parser.add_argument("command", choices=COMMANDS,
-                        help="which artifact to regenerate")
-    parser.add_argument("--targets", nargs="*", default=None,
-                        help="performance goals (default: all six)")
-    parser.add_argument("--target", default="PM",
-                        help="single performance for table2/ablation (default: PM)")
-    parser.add_argument("--population", type=int, default=80,
-                        help="population size (default: 80)")
-    parser.add_argument("--generations", type=int, default=30,
-                        help="number of generations (default: 30)")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="random seed (default: 0)")
-    parser.add_argument("--runs", type=int, default=243,
-                        help="DOE runs per dataset, a power of 3 (default: 243)")
-    parser.add_argument("--paper-budget", action="store_true",
-                        help="use the paper's full budget (population 200, "
-                             "5000 generations; hours per performance)")
+        description="CAFFEINE reproduction: regenerate the paper's "
+                    "experiments, or model any CSV dataset.")
+    budget = _budget_parser()
+    cache = _cache_parser()
+    jobs = _jobs_parser()
+    ota = _ota_parser()
+    subparsers = parser.add_subparsers(dest="command", required=True,
+                                       metavar="{%s}" % ",".join(COMMANDS))
+
+    subparsers.add_parser(
+        "datasets", parents=[ota],
+        help="print the OTA dataset summary only")
+    # Multi-run sweeps take --jobs; single-run subcommands (table2, run)
+    # deliberately do not -- there is nothing to parallelize over.
+    for name, help_text in (
+            ("figure3", "error/complexity trade-offs per performance"),
+            ("table1", "simplest models under 10%% train+test error"),
+            ("figure4", "CAFFEINE vs posynomial comparison"),
+    ):
+        sub = subparsers.add_parser(name, parents=[budget, cache, jobs, ota],
+                                    help=help_text)
+        sub.add_argument("--targets", nargs="*", default=None,
+                         help="performance goals (default: all six)")
+    ablation = subparsers.add_parser(
+        "ablation", parents=[budget, cache, jobs, ota],
+        help="grammar/objective ablation study")
+    ablation.add_argument("--target", default="PM",
+                          help="single performance (default: PM)")
+    table2 = subparsers.add_parser(
+        "table2", parents=[budget, cache, ota],
+        help="the sequence of models of decreasing error")
+    table2.add_argument("--target", default="PM",
+                        help="single performance (default: PM)")
+
+    run = subparsers.add_parser(
+        "run", parents=[budget, cache],
+        help="model a CSV dataset (header row; Pareto table out)")
+    run.add_argument("csv", help="training data: a header-row CSV file")
+    run.add_argument("--target", required=True,
+                     help="name of the modeled column")
+    run.add_argument("--test", default=None, metavar="CSV",
+                     help="optional testing CSV with the same columns")
+    run.add_argument("--features", nargs="*", default=None,
+                     help="design-variable columns (default: every "
+                          "non-target column)")
+    run.add_argument("--log10-target", action="store_true",
+                     help="model log10 of the target (the paper's fu "
+                          "convention)")
+    run.add_argument("--progress", action="store_true",
+                     help="print per-generation progress lines")
     return parser
 
 
@@ -65,27 +155,73 @@ def settings_from_args(args: argparse.Namespace) -> CaffeineSettings:
                             random_seed=args.seed)
 
 
+def _run_csv_command(args: argparse.Namespace) -> int:
+    problem = Problem.from_csv(args.csv, target=args.target,
+                               test_path=args.test,
+                               feature_columns=args.features,
+                               log10_target=args.log10_target)
+    settings = settings_from_args(args)
+    print(f"Problem {problem.name!r}: {problem.train.n_samples} train"
+          + (f" / {problem.test.n_samples} test" if problem.test else "")
+          + f" samples, {problem.n_variables} variables")
+    print(f"CAFFEINE settings: population {settings.population_size}, "
+          f"{settings.n_generations} generations, seed "
+          f"{settings.random_seed}\n")
+    callbacks = [ProgressPrinter()] if args.progress else []
+    session = Session([problem], settings=settings,
+                      column_cache_path=args.column_cache,
+                      callbacks=callbacks)
+    result = session.run().single()
+    print(tradeoff_table(
+        result.tradeoff,
+        title=f"{problem.name}: error/complexity trade-off "
+              f"({result.n_models} models, errors in %)"))
+    if len(result.test_tradeoff) > 0:
+        print()
+        print(tradeoff_table(
+            result.test_tradeoff,
+            title=f"{problem.name}: testing-error trade-off "
+                  f"({len(result.test_tradeoff)} models)"))
+    best = result.best_model()
+    print(f"\nBest model: {best.expression()}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _run_csv_command(args)
+
     datasets = generate_ota_datasets(n_runs=args.runs)
     print(datasets.summary())
     if args.command == "datasets":
         return 0
 
     settings = settings_from_args(args)
+    jobs = getattr(args, "jobs", 1)  # table2 has no --jobs (single run)
     print(f"\nCAFFEINE settings: population {settings.population_size}, "
-          f"{settings.n_generations} generations, seed {settings.random_seed}\n")
+          f"{settings.n_generations} generations, seed {settings.random_seed}"
+          + (f", {jobs} jobs" if jobs > 1 else "") + "\n")
 
     if args.command == "figure3":
-        print(run_figure3(datasets, settings, targets=args.targets).render())
+        print(run_figure3(datasets, settings, targets=args.targets,
+                          column_cache_path=args.column_cache,
+                          jobs=jobs).render())
     elif args.command == "table1":
-        print(run_table1(datasets, settings, targets=args.targets).render())
+        print(run_table1(datasets, settings, targets=args.targets,
+                         column_cache_path=args.column_cache,
+                         jobs=jobs).render())
     elif args.command == "table2":
-        print(run_table2(datasets, settings, target=args.target).render())
+        print(run_table2(datasets, settings, target=args.target,
+                         column_cache_path=args.column_cache).render())
     elif args.command == "figure4":
-        print(run_figure4(datasets, settings, targets=args.targets).render())
+        print(run_figure4(datasets, settings, targets=args.targets,
+                          column_cache_path=args.column_cache,
+                          jobs=jobs).render())
     elif args.command == "ablation":
-        print(run_ablation(datasets, settings, target=args.target).render())
+        print(run_ablation(datasets, settings, target=args.target,
+                           column_cache_path=args.column_cache,
+                           jobs=jobs).render())
     return 0
 
 

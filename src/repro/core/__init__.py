@@ -2,10 +2,17 @@
 
 The public surface of the core package:
 
-* :func:`~repro.core.engine.run_caffeine` / :class:`~repro.core.engine.CaffeineEngine`
-  -- run the algorithm on a dataset;
+* :class:`~repro.core.problem.Problem` / :class:`~repro.core.session.Session`
+  -- package modeling tasks and orchestrate many of them (serially or on a
+  process pool) over one shared, optionally persistent column cache;
+* :class:`~repro.core.engine.CaffeineEngine` -- one run's evolutionary
+  loop (:func:`~repro.core.engine.run_caffeine` is the legacy one-call
+  shim over a one-problem session);
 * :class:`~repro.core.settings.CaffeineSettings` -- all tunables (paper
   settings available via ``CaffeineSettings.paper_settings()``);
+* :mod:`repro.core.registry` -- named registries behind every
+  ``*_backend`` settings field, so new column/fit/pareto/evaluation
+  backends plug in without touching the engine;
 * :class:`~repro.core.model.SymbolicModel` / :class:`~repro.core.model.TradeoffSet`
   -- the resulting error-vs-complexity trade-off of interpretable models;
 * grammar machinery (:mod:`repro.core.grammar`), expression trees
@@ -14,7 +21,7 @@ The public surface of the core package:
   the search.
 """
 
-from repro.core.cache_store import ColumnCacheStore
+from repro.core.cache_store import ColumnCacheStore, FileLock
 from repro.core.compile import (
     CompilationError,
     CompiledKernel,
@@ -71,6 +78,24 @@ from repro.core.individual import (
 )
 from repro.core.model import SymbolicModel, TradeoffSet
 from repro.core.operators import VariationOperators, collect_slots
+from repro.core.problem import Problem
+from repro.core.registry import (
+    BACKEND_KINDS,
+    BackendRegistry,
+    available_backends,
+    backend_names,
+    backend_registry,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.core.session import (
+    LegacyProgressCallback,
+    ProgressPrinter,
+    Session,
+    SessionCallback,
+    SessionResult,
+)
 from repro.core.settings import CaffeineSettings
 from repro.core.simplify import simplify_individual, simplify_population
 from repro.core.variable_combo import VariableCombo
@@ -82,6 +107,21 @@ __all__ = [
     "CaffeineResult",
     "GenerationStats",
     "CaffeineSettings",
+    "Problem",
+    "Session",
+    "SessionCallback",
+    "SessionResult",
+    "ProgressPrinter",
+    "LegacyProgressCallback",
+    "BACKEND_KINDS",
+    "BackendRegistry",
+    "available_backends",
+    "backend_names",
+    "backend_registry",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+    "FileLock",
     "SymbolicModel",
     "TradeoffSet",
     "Individual",

@@ -26,6 +26,14 @@ drivers' ``column_cache_path`` arguments wire a store through the existing
 shared-cache machinery, so the first run of a sweep pays for the columns
 and every later run -- even in a fresh process -- reuses them.
 
+Concurrent writers are safe: :meth:`ColumnCacheStore.save` runs its whole
+read-merge-write cycle under an advisory :class:`FileLock` on a sidecar
+``<path>.lock`` file, so two processes saving to the same path serialize
+and the second merges over the first instead of overwriting it (the
+last-writer-wins hazard of the unlocked protocol).  Loads need no lock --
+the atomic ``os.replace`` write means a reader always sees a complete
+file, before or after any concurrent save.
+
 The format is a pickle of pure-data keys plus float arrays, guarded by a
 magic string, a format version and a SHA-256 checksum.  Like any pickle,
 the file is *trusted local state*, not an interchange format: load caches
@@ -38,6 +46,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 import warnings
 from pathlib import Path
 from typing import Optional, Tuple, Union
@@ -46,7 +55,172 @@ import numpy as np
 
 from repro.core.evaluation import BasisColumnCache
 
-__all__ = ["ColumnCacheStore"]
+try:  # POSIX (Linux/macOS): kernel-released advisory locks
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = ["FileLock", "ColumnCacheStore"]
+
+
+class FileLock:
+    """Reentrant advisory lock on one filesystem path.
+
+    On POSIX the lock is ``flock``-based: it is released automatically when
+    the holding process dies, so a crashed writer can never deadlock the
+    next one.  Where ``fcntl`` is unavailable the lock degrades to an
+    exclusive-create spin lock with stale-lock breaking (a leftover lock
+    file older than ``stale_after`` seconds is reclaimed with a warning).
+
+    The lock is *advisory*: it only excludes other :class:`FileLock` users
+    (which is exactly what the cache-store protocol needs).  One instance
+    is safe to share across threads: an internal :class:`threading.RLock`
+    makes acquisition reentrant *per thread* while excluding other threads
+    -- flock alone cannot do that, since within one process a second
+    acquisition through the same open file would succeed.  Separate
+    instances on the same path exclude each other through the file itself.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike],
+                 timeout: Optional[float] = 60.0,
+                 poll_interval: float = 0.05,
+                 stale_after: float = 120.0) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.stale_after = stale_after
+        self._handle: Optional[int] = None
+        self._depth = 0
+        import threading
+
+        self._thread_lock = threading.RLock()
+
+    @property
+    def held(self) -> bool:
+        return self._depth > 0
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        """Take the lock, blocking up to ``timeout`` seconds.
+
+        Reentrant for the holding thread; other threads (and other
+        processes) block until the holder fully releases.
+        """
+        start = time.monotonic()
+        acquired = self._thread_lock.acquire(
+            timeout=-1 if self.timeout is None else self.timeout)
+        if not acquired:
+            raise TimeoutError(
+                f"could not lock {self.path} within {self.timeout} s "
+                f"(held by another thread)")
+        try:
+            if self._depth == 0:
+                # One budget covers both waits (thread lock above, file
+                # lock below) so the total never exceeds `timeout`.
+                remaining = (None if self.timeout is None else
+                             max(0.0, self.timeout
+                                 - (time.monotonic() - start)))
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                if fcntl is not None:
+                    self._acquire_flock(remaining)
+                else:  # pragma: no cover - exercised on non-POSIX hosts
+                    self._acquire_exclusive_create(remaining)
+            self._depth += 1
+        except BaseException:
+            self._thread_lock.release()
+            raise
+
+    def release(self) -> None:
+        """Drop one level of the (reentrant) lock."""
+        if self._depth == 0:
+            raise RuntimeError(f"release() of unheld lock {self.path}")
+        self._depth -= 1
+        try:
+            if self._depth > 0:
+                return
+            handle, self._handle = self._handle, None
+            if fcntl is not None:
+                try:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+                finally:
+                    os.close(handle)
+            else:  # pragma: no cover - non-POSIX fallback
+                try:
+                    os.unlink(self.path)
+                except OSError:
+                    pass
+        finally:
+            self._thread_lock.release()
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------
+    def _acquire_flock(self, timeout: Optional[float]) -> None:
+        import errno
+
+        #: errnos meaning "someone else holds the lock" -- anything else
+        #: (ENOLCK, EBADF, an NFS mount without lock support...) is a real
+        #: failure and must surface immediately, not as a phantom timeout
+        contended = (errno.EWOULDBLOCK, errno.EAGAIN, errno.EACCES)
+        handle = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            if timeout is None:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+            else:
+                deadline = time.monotonic() + timeout
+                while True:
+                    try:
+                        fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        break
+                    except OSError as error:
+                        if error.errno not in contended:
+                            raise
+                        if time.monotonic() >= deadline:
+                            raise TimeoutError(
+                                f"could not lock {self.path} within "
+                                f"{self.timeout} s") from None
+                        time.sleep(self.poll_interval)
+        except BaseException:
+            os.close(handle)
+            raise
+        self._handle = handle
+
+    def _acquire_exclusive_create(self,
+                                  timeout: Optional[float]
+                                  ) -> None:  # pragma: no cover
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            try:
+                handle = os.open(self.path,
+                                 os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+                os.close(handle)
+                self._handle = -1
+                return
+            except FileExistsError:
+                try:
+                    age = time.time() - self.path.stat().st_mtime
+                except OSError:
+                    age = 0.0
+                if age > self.stale_after:
+                    warnings.warn(
+                        f"breaking stale lock file {self.path} "
+                        f"(age {age:.0f} s)", RuntimeWarning, stacklevel=3)
+                    try:
+                        os.unlink(self.path)
+                    except OSError:
+                        pass
+                    continue
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"could not lock {self.path} within "
+                        f"{self.timeout} s") from None
+                time.sleep(self.poll_interval)
 
 
 class ColumnCacheStore:
@@ -57,6 +231,13 @@ class ColumnCacheStore:
     anything unreadable -- truncated, corrupted, wrong magic, unknown
     version -- is reported as a warning and treated as empty, so a damaged
     cache file can never break a run, only un-warm it.
+
+    Saves serialize through an advisory :class:`FileLock` on the sidecar
+    ``<path>.lock``: concurrent sweeps writing the same store merge instead
+    of racing (see :meth:`save`).  The lock object is exposed as
+    :attr:`lock` for callers that want a larger critical section (e.g. a
+    read-modify-write spanning several stores); it is reentrant, so such a
+    caller's ``save`` calls nest harmlessly.
     """
 
     #: file magic; changing the on-disk layout bumps FORMAT_VERSION instead
@@ -65,6 +246,8 @@ class ColumnCacheStore:
 
     def __init__(self, path: Union[str, os.PathLike]) -> None:
         self.path = Path(path)
+        #: advisory lock guarding the save protocol's read-merge-write
+        self.lock = FileLock(str(self.path) + ".lock")
 
     # ------------------------------------------------------------------
     def save(self, cache: BasisColumnCache, merge: bool = True) -> int:
@@ -78,37 +261,44 @@ class ColumnCacheStore:
         saving.  The file therefore only grows; delete it to reclaim space.
         ``merge=False`` writes exactly the cache's entries.
 
-        The write is atomic (temp file in the target directory, then
-        ``os.replace``), so a crash mid-save leaves the previous file -- or
-        no file -- never a torn one.  Parent directories are created.
+        The read-merge-write cycle runs under the store's advisory
+        :attr:`lock`, so *simultaneous* savers serialize: the second to
+        arrive re-reads the file the first just wrote and merges over it,
+        and neither side's columns are lost (the last-writer-wins hazard of
+        an unlocked merge).  The write itself is also atomic (temp file in
+        the target directory, then ``os.replace``), so a crash mid-save
+        leaves the previous file -- or no file -- never a torn one.  Parent
+        directories are created.
         """
-        entries = [(key, np.ascontiguousarray(column))
-                   for key, column in cache.items()]
-        if merge:
-            fresh = {key for key, _column in entries}
-            stored = self._read_payload()
-            if stored:
-                entries.extend((key, column) for key, column in stored
-                               if key not in fresh)
-        payload = pickle.dumps(
-            {"format_version": self.FORMAT_VERSION, "entries": entries},
-            protocol=pickle.HIGHEST_PROTOCOL)
-        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
-        header = b"%s\n%d\n%s\n" % (self.MAGIC, self.FORMAT_VERSION, digest)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, temp_name = tempfile.mkstemp(dir=str(self.path.parent),
-                                         prefix=self.path.name + ".tmp-")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(header)
-                handle.write(payload)
-            os.replace(temp_name, self.path)
-        except BaseException:
+        with self.lock:
+            entries = [(key, np.ascontiguousarray(column))
+                       for key, column in cache.items()]
+            if merge:
+                fresh = {key for key, _column in entries}
+                stored = self._read_payload()
+                if stored:
+                    entries.extend((key, column) for key, column in stored
+                                   if key not in fresh)
+            payload = pickle.dumps(
+                {"format_version": self.FORMAT_VERSION, "entries": entries},
+                protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+            header = b"%s\n%d\n%s\n" % (self.MAGIC, self.FORMAT_VERSION,
+                                        digest)
+            fd, temp_name = tempfile.mkstemp(dir=str(self.path.parent),
+                                             prefix=self.path.name + ".tmp-")
             try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(header)
+                    handle.write(payload)
+                os.replace(temp_name, self.path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
         return len(entries)
 
     # ------------------------------------------------------------------

@@ -1,11 +1,14 @@
 """The CAFFEINE engine: the NSGA-II evolutionary loop over canonical-form models.
 
-:func:`run_caffeine` is the main entry point of the library: given a training
-dataset (and optionally a testing dataset), it evolves a population of
-multi-tree individuals under the two objectives (normalized training error,
+:class:`CaffeineEngine` runs one modeling task: given a training dataset
+(and optionally a testing dataset), it evolves a population of multi-tree
+individuals under the two objectives (normalized training error,
 complexity), applies simplification-after-generation, and returns a
 :class:`CaffeineResult` holding the trade-off of symbolic models plus
-per-generation statistics.
+per-generation statistics.  Engines are driven by the
+:class:`~repro.core.session.Session` orchestrator (the preferred API,
+alongside the :class:`repro.SymbolicRegressor` facade); :func:`run_caffeine`
+remains as the legacy one-call shim over a one-problem session.
 
 All fitness evaluation is routed through one
 :class:`~repro.core.evaluation.PopulationEvaluator` bound to the training
@@ -25,7 +28,6 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.cache_store import ColumnCacheStore
 from repro.core.evaluation import BasisColumnCache, PopulationEvaluator
 from repro.core.generator import ExpressionGenerator
 from repro.core.individual import Individual
@@ -240,7 +242,23 @@ def run_caffeine(train: Dataset, test: Optional[Dataset] = None,
                  column_cache_path: Optional[str] = None) -> CaffeineResult:
     """Run CAFFEINE on a training dataset (and optional testing dataset).
 
-    This is the library's main entry point::
+    .. deprecated:: 1.1
+        This is now a compatibility shim over the Problem/Session API --
+        one :class:`~repro.core.problem.Problem` run by a one-problem
+        :class:`~repro.core.session.Session` -- and is kept bit-for-bit
+        identical to calling that API directly (asserted by the test
+        suite).  New code should prefer :class:`~repro.core.session.Session`
+        (multi-run orchestration, process pools, structured callbacks) or
+        :class:`repro.SymbolicRegressor` (the sklearn-style facade); see
+        the migration table in ``benchmarks/README.md``.
+
+        One deliberate tightening rides along: ``Problem`` validates the
+        train/test pair up front, so a ``test`` dataset whose target name
+        or log-scaling disagrees with ``train`` -- silently accepted (and
+        silently mis-scored) before -- now raises ``ValueError`` at the
+        call instead of producing a result.  Valid pairs are unaffected.
+
+    Usage::
 
         from repro import CaffeineSettings, run_caffeine
         result = run_caffeine(train, test, CaffeineSettings(population_size=100,
@@ -259,22 +277,18 @@ def run_caffeine(train: Dataset, test: Optional[Dataset] = None,
     (damaged or stale files degrade to a cold start, see
     :class:`~repro.core.cache_store.ColumnCacheStore`) and the cache --
     including everything this run computed -- is saved back after a
-    successful run.  Neither knob ever changes the evolved models, only
-    wall-clock time.
+    successful run, merged under the store's advisory lock so concurrent
+    runs cannot erase each other's columns.  Neither knob ever changes the
+    evolved models, only wall-clock time.
     """
-    settings = settings if settings is not None else CaffeineSettings()
-    store = (ColumnCacheStore(column_cache_path)
-             if column_cache_path is not None else None)
-    if store is not None and column_cache is None:
-        column_cache = BasisColumnCache(settings.basis_cache_size)
-    engine = CaffeineEngine(train, test=test, settings=settings,
-                            column_cache=column_cache)
-    if store is not None:
-        # Only this run's namespace is admitted into the LRU (other runs'
-        # entries stay on disk untouched -- save() merges, never erases).
-        store.load_into(column_cache,
-                        dataset_key=engine.evaluator.dataset_key)
-    result = engine.run(progress=progress)
-    if store is not None:
-        store.save(column_cache)
-    return result
+    # Imported here: session.py imports this module (CaffeineEngine).
+    from repro.core.problem import Problem
+    from repro.core.session import LegacyProgressCallback, Session
+
+    callbacks = ([LegacyProgressCallback(progress)]
+                 if progress is not None else ())
+    session = Session([Problem(train=train, test=test)], settings=settings,
+                      column_cache=column_cache,
+                      column_cache_path=column_cache_path,
+                      callbacks=callbacks)
+    return session.run().single()

@@ -66,6 +66,7 @@ from repro.core.individual import (
     evaluate_basis_column,
     evaluate_basis_matrix,
 )
+from repro.core.registry import get_backend
 from repro.core.settings import CaffeineSettings
 from repro.data.metrics import error_normalization, relative_rmse
 from repro.regression.least_squares import (
@@ -80,6 +81,10 @@ __all__ = [
     "BasisColumnCache",
     "GramPool",
     "PopulationEvaluator",
+    "InterpColumnBackend",
+    "CompiledColumnBackend",
+    "DirectFitBackend",
+    "GramFitBackend",
     "dataset_fingerprint",
     "evaluate_individual_inplace",
 ]
@@ -439,24 +444,82 @@ def evaluate_individual_inplace(individual: Individual, X: np.ndarray,
     individual.error = relative_rmse(y, predictions, individual.normalization)
 
 
-#: per-process copy of the sample matrix, installed once per worker by
+class InterpColumnBackend:
+    """Reference column backend: node-by-node tree interpretation.
+
+    This is the ``"interp"`` entry of the ``"column"`` backend registry;
+    basis keys are plain structural keys and every evaluation walks the
+    tree through :func:`~repro.core.individual.evaluate_basis_column`.
+    """
+
+    name = "interp"
+    #: no :class:`~repro.core.compile.TreeCompiler` behind this backend
+    compiler: Optional[TreeCompiler] = None
+
+    def __init__(self, X: np.ndarray,
+                 settings: Optional[CaffeineSettings] = None) -> None:
+        self.X = X
+
+    def basis_key(self, basis: ProductTerm) -> Tuple:
+        """The exact evaluation-recipe identity used as the cache key."""
+        return structural_key(basis)
+
+    def evaluate(self, basis: ProductTerm, key: Tuple) -> np.ndarray:
+        """Compute one column; ``key`` is the caller's precomputed key."""
+        return evaluate_basis_column(basis, self.X)
+
+    def column(self, basis: ProductTerm) -> np.ndarray:
+        """Key + evaluate in one call (the worker-process entry point)."""
+        return evaluate_basis_column(basis, self.X)
+
+
+class CompiledColumnBackend:
+    """Fused-tape column backend (``"compiled"``, the default).
+
+    Basis keys are ``(skeleton, params)`` pairs -- the same one-walk-per-tree
+    exact evaluation-recipe identity as a structural key, but directly
+    reusable as the compiler's kernel-cache key, so cache misses never
+    re-walk the tree.  Bit-for-bit identical to the interpreter (see
+    :mod:`repro.core.compile`).
+    """
+
+    name = "compiled"
+
+    def __init__(self, X: np.ndarray,
+                 settings: Optional[CaffeineSettings] = None) -> None:
+        self.compiler = TreeCompiler(X)
+
+    def basis_key(self, basis: ProductTerm) -> Tuple:
+        return skeleton_and_params(basis)
+
+    def evaluate(self, basis: ProductTerm, key: Tuple) -> np.ndarray:
+        skeleton, params = key
+        return self.compiler.column_from_key(skeleton, params, basis)
+
+    def column(self, basis: ProductTerm) -> np.ndarray:
+        return self.compiler.column(basis)
+
+
+#: per-process column backend, installed once per worker by
 #: :func:`_init_worker` so tasks ship only the basis trees, not X
-_WORKER_X: Optional[np.ndarray] = None
-#: per-process tree compiler (``column_backend="compiled"`` only)
-_WORKER_COMPILER: Optional[TreeCompiler] = None
+_WORKER_BACKEND = None
+
+#: sentinel cached by :meth:`PopulationEvaluator._get_executor` when an
+#: evaluation-backend factory declines pooling (returns None), so the
+#: factory is called once, not once per batch
+_EXECUTOR_DECLINED = object()
 
 
 def _init_worker(X: np.ndarray, column_backend: str = "interp") -> None:
-    global _WORKER_X, _WORKER_COMPILER
-    _WORKER_X = X
-    _WORKER_COMPILER = TreeCompiler(X) if column_backend == "compiled" else None
+    global _WORKER_BACKEND
+    # Workers rebuild the configured column backend by registry name; column
+    # factories must therefore accept ``settings=None`` (both built-ins do).
+    _WORKER_BACKEND = get_backend("column", column_backend)(X, None)
 
 
 def _column_task(basis: ProductTerm) -> np.ndarray:
     """Picklable worker: evaluate one basis function on the installed matrix."""
-    if _WORKER_COMPILER is not None:
-        return _WORKER_COMPILER.column(basis)
-    return evaluate_basis_column(basis, _WORKER_X)
+    return _WORKER_BACKEND.column(basis)
 
 
 class PopulationEvaluator:
@@ -487,19 +550,17 @@ class PopulationEvaluator:
             else BasisColumnCache(self.settings.basis_cache_size)
         self.normalization = error_normalization(self.y)
         self._backend = self.settings.evaluation_backend
-        #: miss-path column computation: a fused-tape compiler
-        #: (``column_backend="compiled"``) or the node-by-node interpreter.
-        #: Bit-for-bit identical (see :mod:`repro.core.compile`).  Under the
-        #: compiled backend, basis keys are ``(skeleton, params)`` pairs --
-        #: the same one-walk-per-tree exact evaluation-recipe identity as a
-        #: structural key, but directly reusable as the compiler's kernel
-        #: cache key, so cache misses never re-walk the tree.
-        if self.settings.column_backend == "compiled":
-            self._compiler: Optional[TreeCompiler] = TreeCompiler(self.X)
-            self._basis_key = skeleton_and_params
-        else:
-            self._compiler = None
-            self._basis_key = structural_key
+        #: miss-path column computation, resolved through the ``"column"``
+        #: backend registry: a fused-tape compiler (``"compiled"``, the
+        #: default) or the node-by-node interpreter (``"interp"``) -- or any
+        #: backend registered by name.  The backend object also owns the
+        #: basis-key recipe, so its keys and its evaluations always agree.
+        self._column_backend = get_backend(
+            "column", self.settings.column_backend)(self.X, self.settings)
+        self._basis_key = self._column_backend.basis_key
+        #: the backend's TreeCompiler when it has one (introspection only)
+        self._compiler: Optional[TreeCompiler] = getattr(
+            self._column_backend, "compiler", None)
         #: column-cache key prefix: evaluators on byte-identical X *and* an
         #: implementation-identical function set share cached columns
         #: through a common cache; different data or differently-bound
@@ -508,15 +569,13 @@ class PopulationEvaluator:
         self.dataset_key = (dataset_fingerprint(self.X),
                             function_set_fingerprint(
                                 self.settings.function_set))
-        #: gram-pool fit path (see :class:`GramPool`); ``fit_backend="direct"``
-        #: or a zero pool size falls back to per-individual ``fit_linear``
-        self._use_gram = (self.settings.fit_backend == "gram"
-                          and self.settings.gram_pool_size > 0)
-        self.gram_pool: Optional[GramPool] = (
-            GramPool(self.y, self.settings.gram_pool_size)
-            if self._use_gram else None)
-        self._y_sum = float(self.y.sum())
-        self._y_finite = bool(np.isfinite(self.y).all())
+        #: how fits are produced, resolved through the ``"fit"`` registry:
+        #: gram-pool gather-and-solve (``"gram"``, the default; a zero pool
+        #: size degrades to direct) or per-individual ``fit_linear``
+        #: (``"direct"``) -- every registered backend must set the same
+        #: fields on the individual (see :class:`DirectFitBackend`).
+        self._fit_backend = get_backend(
+            "fit", self.settings.fit_backend)(self)
         #: total number of individual evaluations performed (for benchmarks)
         self.n_evaluated = 0
         #: column-level accounting: how many basis-column lookups were made
@@ -532,7 +591,8 @@ class PopulationEvaluator:
         #: accounted as a computation, not a cache hit (see _column_for)
         self._fresh_keys: set = set()
         #: batch-local precomputed gram fits keyed by basis-key tuple (or
-        #: individual id when the fit cache is off); see _batch_gram_fits
+        #: individual id when the fit cache is off); filled by
+        #: :meth:`GramFitBackend.prepare_batch`
         self._batch_fit_results: Dict = {}
         #: batch-local overlay of prefilled columns, consulted before the LRU
         #: so that a cache smaller than one batch (or a disabled cache) never
@@ -548,6 +608,11 @@ class PopulationEvaluator:
     @property
     def stats(self) -> CacheStats:
         return self.cache.stats
+
+    @property
+    def gram_pool(self) -> Optional["GramPool"]:
+        """The fit backend's scalar pool (None when fits are direct)."""
+        return getattr(self._fit_backend, "pool", None)
 
     @property
     def column_hit_rate(self) -> float:
@@ -604,12 +669,14 @@ class PopulationEvaluator:
             pending = keyed
         try:
             self._prefill_columns(pending)
-            if self._use_gram and pending:
-                # One vectorized pass computes every missing normal-equation
-                # scalar of the generation, then one stacked LAPACK call per
-                # basis width solves all fresh fits; the per-individual loop
-                # below only distributes the precomputed results.
-                self._batch_gram_fits(pending)
+            if pending:
+                # The fit backend batch-precomputes whatever the coming
+                # evaluations need (the gram backend: every missing
+                # normal-equation scalar in one vectorized pass, then one
+                # stacked LAPACK call per basis width; the direct backend:
+                # nothing).  The per-individual loop below only distributes
+                # precomputed results.
+                self._fit_backend.prepare_batch(pending)
             for individual, keys in keyed:
                 self._evaluate_with_keys(individual, keys)
         finally:
@@ -648,10 +715,7 @@ class PopulationEvaluator:
         compiled backend it *is* the ``(skeleton, params)`` pair, handed to
         the compiler so a miss never re-walks the tree.
         """
-        if self._compiler is not None:
-            skeleton, params = key
-            return self._compiler.column_from_key(skeleton, params, basis)
-        return evaluate_basis_column(basis, self.X)
+        return self._column_backend.evaluate(basis, key)
 
     def _matrix_from_keys(self, keys: List[Tuple],
                           bases: Sequence[ProductTerm]) -> np.ndarray:
@@ -700,149 +764,13 @@ class PopulationEvaluator:
                 individual.normalization = self.normalization
                 return individual
         self.n_fits_computed += 1
-        if self._use_gram:
-            batch_key = fit_key if fit_key is not None else id(individual)
-            precomputed = self._batch_fit_results.get(batch_key)
-            if precomputed is not None:
-                # Sharing one frozen LinearFit across structurally identical
-                # individuals mirrors what the fit cache already does.
-                fit, error = precomputed
-                individual.complexity = self._complexity_from_keys(
-                    basis_keys, individual.bases)
-                individual.normalization = self.normalization
-                individual.fit = fit
-                individual.error = error
-            else:
-                self._evaluate_with_gram(individual, basis_keys)
-        else:
-            evaluate_individual_inplace(
-                individual, self.X, self.y, self.settings,
-                basis_matrix=self._matrix_from_keys(basis_keys, individual.bases),
-                normalization=self.normalization,
-                complexity=self._complexity_from_keys(basis_keys, individual.bases),
-            )
+        self._fit_backend.evaluate(individual, basis_keys)
         if fit_key is not None:
             self._fit_cache[fit_key] = (individual.fit, individual.error,
                                         individual.complexity)
             while len(self._fit_cache) > self.cache.max_entries:
                 self._fit_cache.popitem(last=False)
         return individual
-
-    def _evaluate_with_gram(self, individual: Individual,
-                            basis_keys: List[Tuple]) -> Individual:
-        """Gram-pool fit: gather normal equations, small solve, score.
-
-        Mirrors :func:`evaluate_individual_inplace` step for step -- same
-        complexity, normalization, feasibility decision, fit and error, each
-        produced by a bit-for-bit equivalent recipe -- but the only
-        ``n_samples``-long work left is assembling the basis matrix for the
-        final prediction/residual pass.
-        """
-        bases = individual.bases
-        individual.complexity = self._complexity_from_keys(basis_keys, bases)
-        individual.normalization = self.normalization
-        columns = [self._column_for(key, basis)
-                   for key, basis in zip(basis_keys, bases)]
-        gram, colsums, ydots, finite = self.gram_pool.statistics_for(
-            list(zip(basis_keys, columns)))
-        if not (finite and self._y_finite):
-            # Exactly fit_linear's non-finite rejection, decided from the
-            # pool's per-column finite flags instead of a full-matrix scan.
-            individual.fit = None
-            individual.error = float("inf")
-            return individual
-        if columns:
-            basis_matrix = np.column_stack(columns)
-        else:
-            basis_matrix = np.zeros((self.X.shape[0], 0))
-        fit = fit_linear_from_gram(gram, colsums, ydots, self._y_sum,
-                                   basis_matrix, self.y)
-        if fit is None:
-            individual.fit = None
-            individual.error = float("inf")
-            return individual
-        individual.fit = fit
-        predictions = fit.predict(basis_matrix)
-        individual.error = relative_rmse(self.y, predictions,
-                                         individual.normalization)
-        return individual
-
-    def _batch_gram_fits(self, pending: Sequence[Tuple[Individual, List[Tuple]]]
-                         ) -> None:
-        """Solve the batch's unique fresh fits in stacked LAPACK calls.
-
-        Pending individuals are deduplicated by basis-key tuple (duplicates
-        share one fit, exactly as the fit cache would have arranged) and
-        their ``(key, column)`` sequences are built once -- shared by the
-        pool's batched :meth:`GramPool.prepare` and the per-group gathers
-        below.  Each same-basis-count group's normal equations are then
-        solved by one
-        :func:`~repro.regression.least_squares.fit_linear_from_gram_batch`
-        call.  Results land in ``_batch_fit_results`` for the per-individual
-        loop to distribute -- every value bit-for-bit what the scalar path
-        would have produced.
-        """
-        groups: Dict[int, List[Tuple]] = {}
-        queued = set()
-        prepared_columns = []
-        for individual, keys in pending:
-            batch_key = tuple(keys) if self.cache.max_entries > 0 \
-                else id(individual)
-            if batch_key in queued or not keys:
-                # Duplicates share the first occurrence's fit; empty
-                # individuals take the (cheap) scalar intercept-only path.
-                continue
-            queued.add(batch_key)
-            keyed_columns = [(key, self._column_for(key, basis))
-                             for key, basis in zip(keys, individual.bases)]
-            prepared_columns.append(keyed_columns)
-            groups.setdefault(len(keys), []).append(
-                (batch_key, keyed_columns))
-        if not groups:
-            return
-        self.gram_pool.prepare(prepared_columns)
-        for n_bases, items in groups.items():
-            n_items = len(items)
-            grams = np.empty((n_items, n_bases, n_bases))
-            colsums = np.empty((n_items, n_bases))
-            ydots = np.empty((n_items, n_bases))
-            basis_matrices = []
-            finite_rows = np.empty(n_items, dtype=bool)
-            for position, (batch_key, keyed_columns) in enumerate(items):
-                finite_rows[position] = self.gram_pool.gather_into(
-                    keyed_columns, grams[position], colsums[position],
-                    ydots[position])
-                basis_matrices.append(np.column_stack(
-                    [column for _key, column in keyed_columns]))
-            if not self._y_finite:
-                finite_rows[:] = False
-            if finite_rows.all():
-                solvable = np.arange(n_items)
-            else:
-                # Non-finite items would poison the stacked LAPACK calls;
-                # they are infeasible by fit_linear's rules anyway.
-                solvable = np.flatnonzero(finite_rows)
-                for position in np.flatnonzero(~finite_rows):
-                    self._batch_fit_results[items[position][0]] = \
-                        (None, float("inf"))
-                if solvable.size == 0:
-                    continue
-                grams = grams[solvable]
-                colsums = colsums[solvable]
-                ydots = ydots[solvable]
-            solvable_matrices = [basis_matrices[i] for i in solvable]
-            fits = fit_linear_from_gram_batch(grams, colsums, ydots,
-                                              self._y_sum, solvable_matrices,
-                                              self.y)
-            for position, fit, basis_matrix in zip(solvable, fits,
-                                                   solvable_matrices):
-                batch_key = items[position][0]
-                if fit is None:
-                    self._batch_fit_results[batch_key] = (None, float("inf"))
-                    continue
-                predictions = fit.predict(basis_matrix)
-                error = relative_rmse(self.y, predictions, self.normalization)
-                self._batch_fit_results[batch_key] = (fit, error)
 
     # ------------------------------------------------------------------
     def _prefill_columns(self, keyed: Sequence[Tuple[Individual, List[Tuple]]]
@@ -875,6 +803,11 @@ class PopulationEvaluator:
     def _compute_columns(self, keys: List[Tuple],
                          bases: List[ProductTerm]) -> List[np.ndarray]:
         if self._backend == "serial" or len(bases) < 2:
+            return [self._evaluate_column(basis, key)
+                    for key, basis in zip(keys, bases)]
+        if self._get_executor() is None:
+            # A registered backend may decline pooling (factory returned
+            # None): run on the calling thread, exactly like "serial".
             return [self._evaluate_column(basis, key)
                     for key, basis in zip(keys, bases)]
         if self._backend == "process":
@@ -917,27 +850,28 @@ class PopulationEvaluator:
         only by :meth:`shutdown` (or interpreter exit).
         """
         if self._executor is None:
-            import concurrent.futures
-
             workers = self.settings.evaluation_workers
             if workers == 0:
                 import os
                 workers = os.cpu_count() or 1
             workers = max(1, workers)
-            if self._backend == "process":
-                # X is shipped once per worker via the initializer; tasks
-                # then carry only the basis trees.
-                self._executor = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers, initializer=_init_worker,
-                    initargs=(self.X, self.settings.column_backend))
-            else:
-                self._executor = concurrent.futures.ThreadPoolExecutor(
-                    max_workers=workers)
+            # Resolved through the ``"evaluation"`` registry; the column
+            # backend *name* rides along so process-pool workers can rebuild
+            # their per-process state (see _init_worker).  A factory that
+            # declines pooling (returns None) is remembered via a sentinel
+            # so it is not re-invoked every batch.
+            resolved = get_backend("evaluation", self._backend)(
+                workers, self.X, self.settings.column_backend)
+            self._executor = (resolved if resolved is not None
+                              else _EXECUTOR_DECLINED)
+        if self._executor is _EXECUTOR_DECLINED:
+            return None
         return self._executor
 
     def _shutdown_executor(self) -> None:
         if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
+            if self._executor is not _EXECUTOR_DECLINED:
+                self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
 
     def shutdown(self) -> None:
@@ -952,3 +886,194 @@ class PopulationEvaluator:
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
+
+
+class DirectFitBackend:
+    """Reference fit backend: one full ``fit_linear`` per individual.
+
+    This is the ``"direct"`` entry of the ``"fit"`` backend registry.  A fit
+    backend's contract: ``prepare_batch(pending)`` may batch-precompute
+    anything the coming evaluations need, and ``evaluate(individual,
+    basis_keys)`` must set ``fit``, ``error``, ``complexity`` and
+    ``normalization`` on the individual in place -- bit-for-bit what
+    :func:`evaluate_individual_inplace` would set, unless the backend is
+    documented as approximate.
+    """
+
+    name = "direct"
+
+    def __init__(self, evaluator: PopulationEvaluator) -> None:
+        self.evaluator = evaluator
+
+    def prepare_batch(self, pending: Sequence[Tuple[Individual, List[Tuple]]]
+                      ) -> None:
+        """Direct fits need no batch precomputation."""
+
+    def evaluate(self, individual: Individual,
+                 basis_keys: List[Tuple]) -> None:
+        ev = self.evaluator
+        evaluate_individual_inplace(
+            individual, ev.X, ev.y, ev.settings,
+            basis_matrix=ev._matrix_from_keys(basis_keys, individual.bases),
+            normalization=ev.normalization,
+            complexity=ev._complexity_from_keys(basis_keys, individual.bases),
+        )
+
+
+class GramFitBackend:
+    """Gram-pool fit backend (``"gram"``, the default).
+
+    Fits gather canonical normal-equation scalars from a cross-generation
+    :class:`GramPool` instead of re-reducing ``n_samples``-long columns, and
+    whole batches solve in stacked LAPACK calls.  Bit-for-bit identical to
+    :class:`DirectFitBackend` (the scalars come from the same
+    :func:`~repro.regression.least_squares.pair_dots` recipe no matter when
+    or in which batch they were first computed).
+    """
+
+    name = "gram"
+
+    def __init__(self, evaluator: PopulationEvaluator) -> None:
+        self.evaluator = evaluator
+        #: the cross-generation scalar pool (``evaluator.gram_pool``)
+        self.pool = GramPool(evaluator.y, evaluator.settings.gram_pool_size)
+        self._y_sum = float(evaluator.y.sum())
+        self._y_finite = bool(np.isfinite(evaluator.y).all())
+
+    # ------------------------------------------------------------------
+    def evaluate(self, individual: Individual,
+                 basis_keys: List[Tuple]) -> None:
+        ev = self.evaluator
+        batch_key = tuple(basis_keys) if ev.cache.max_entries > 0 \
+            else id(individual)
+        precomputed = ev._batch_fit_results.get(batch_key)
+        if precomputed is not None:
+            # Sharing one frozen LinearFit across structurally identical
+            # individuals mirrors what the fit cache already does.
+            fit, error = precomputed
+            individual.complexity = ev._complexity_from_keys(
+                basis_keys, individual.bases)
+            individual.normalization = ev.normalization
+            individual.fit = fit
+            individual.error = error
+            return
+        self._evaluate_with_gram(individual, basis_keys)
+
+    def _evaluate_with_gram(self, individual: Individual,
+                            basis_keys: List[Tuple]) -> Individual:
+        """Gram-pool fit: gather normal equations, small solve, score.
+
+        Mirrors :func:`evaluate_individual_inplace` step for step -- same
+        complexity, normalization, feasibility decision, fit and error, each
+        produced by a bit-for-bit equivalent recipe -- but the only
+        ``n_samples``-long work left is assembling the basis matrix for the
+        final prediction/residual pass.
+        """
+        ev = self.evaluator
+        bases = individual.bases
+        individual.complexity = ev._complexity_from_keys(basis_keys, bases)
+        individual.normalization = ev.normalization
+        columns = [ev._column_for(key, basis)
+                   for key, basis in zip(basis_keys, bases)]
+        gram, colsums, ydots, finite = self.pool.statistics_for(
+            list(zip(basis_keys, columns)))
+        if not (finite and self._y_finite):
+            # Exactly fit_linear's non-finite rejection, decided from the
+            # pool's per-column finite flags instead of a full-matrix scan.
+            individual.fit = None
+            individual.error = float("inf")
+            return individual
+        if columns:
+            basis_matrix = np.column_stack(columns)
+        else:
+            basis_matrix = np.zeros((ev.X.shape[0], 0))
+        fit = fit_linear_from_gram(gram, colsums, ydots, self._y_sum,
+                                   basis_matrix, ev.y)
+        if fit is None:
+            individual.fit = None
+            individual.error = float("inf")
+            return individual
+        individual.fit = fit
+        predictions = fit.predict(basis_matrix)
+        individual.error = relative_rmse(ev.y, predictions,
+                                         individual.normalization)
+        return individual
+
+    # ------------------------------------------------------------------
+    def prepare_batch(self, pending: Sequence[Tuple[Individual, List[Tuple]]]
+                      ) -> None:
+        """Solve the batch's unique fresh fits in stacked LAPACK calls.
+
+        Pending individuals are deduplicated by basis-key tuple (duplicates
+        share one fit, exactly as the fit cache would have arranged) and
+        their ``(key, column)`` sequences are built once -- shared by the
+        pool's batched :meth:`GramPool.prepare` and the per-group gathers
+        below.  Each same-basis-count group's normal equations are then
+        solved by one
+        :func:`~repro.regression.least_squares.fit_linear_from_gram_batch`
+        call.  Results land in the evaluator's ``_batch_fit_results`` for
+        the per-individual loop to distribute -- every value bit-for-bit
+        what the scalar path would have produced.
+        """
+        ev = self.evaluator
+        groups: Dict[int, List[Tuple]] = {}
+        queued = set()
+        prepared_columns = []
+        for individual, keys in pending:
+            batch_key = tuple(keys) if ev.cache.max_entries > 0 \
+                else id(individual)
+            if batch_key in queued or not keys:
+                # Duplicates share the first occurrence's fit; empty
+                # individuals take the (cheap) scalar intercept-only path.
+                continue
+            queued.add(batch_key)
+            keyed_columns = [(key, ev._column_for(key, basis))
+                             for key, basis in zip(keys, individual.bases)]
+            prepared_columns.append(keyed_columns)
+            groups.setdefault(len(keys), []).append(
+                (batch_key, keyed_columns))
+        if not groups:
+            return
+        self.pool.prepare(prepared_columns)
+        for n_bases, items in groups.items():
+            n_items = len(items)
+            grams = np.empty((n_items, n_bases, n_bases))
+            colsums = np.empty((n_items, n_bases))
+            ydots = np.empty((n_items, n_bases))
+            basis_matrices = []
+            finite_rows = np.empty(n_items, dtype=bool)
+            for position, (batch_key, keyed_columns) in enumerate(items):
+                finite_rows[position] = self.pool.gather_into(
+                    keyed_columns, grams[position], colsums[position],
+                    ydots[position])
+                basis_matrices.append(np.column_stack(
+                    [column for _key, column in keyed_columns]))
+            if not self._y_finite:
+                finite_rows[:] = False
+            if finite_rows.all():
+                solvable = np.arange(n_items)
+            else:
+                # Non-finite items would poison the stacked LAPACK calls;
+                # they are infeasible by fit_linear's rules anyway.
+                solvable = np.flatnonzero(finite_rows)
+                for position in np.flatnonzero(~finite_rows):
+                    ev._batch_fit_results[items[position][0]] = \
+                        (None, float("inf"))
+                if solvable.size == 0:
+                    continue
+                grams = grams[solvable]
+                colsums = colsums[solvable]
+                ydots = ydots[solvable]
+            solvable_matrices = [basis_matrices[i] for i in solvable]
+            fits = fit_linear_from_gram_batch(grams, colsums, ydots,
+                                              self._y_sum, solvable_matrices,
+                                              ev.y)
+            for position, fit, basis_matrix in zip(solvable, fits,
+                                                   solvable_matrices):
+                batch_key = items[position][0]
+                if fit is None:
+                    ev._batch_fit_results[batch_key] = (None, float("inf"))
+                    continue
+                predictions = fit.predict(basis_matrix)
+                error = relative_rmse(ev.y, predictions, ev.normalization)
+                ev._batch_fit_results[batch_key] = (fit, error)

@@ -35,25 +35,38 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
+from repro.core.registry import backend_names, get_backend
+
 __all__ = ["PARETO_BACKENDS", "dominates", "nondominated_indices",
            "nondominated_filter", "fast_nondominated_sort",
-           "crowding_distances"]
+           "crowding_distances",
+           "NUMPY_PARETO_BACKEND", "PYTHON_PARETO_BACKEND"]
 
 T = TypeVar("T")
 Objectives = Tuple[float, ...]
 
-#: Recognized values for the ``backend`` argument of every kernel.
+#: The built-in values of the ``backend`` argument.  The authoritative set
+#: is the ``"pareto"`` registry in :mod:`repro.core.registry` -- registered
+#: third-party kernels are accepted everywhere this module takes a name.
 PARETO_BACKENDS = ("numpy", "python")
 
 _DEFAULT_BACKEND = "numpy"
 
 
-def _resolve_backend(backend: Optional[str]) -> str:
-    resolved = _DEFAULT_BACKEND if backend is None else backend
-    if resolved not in PARETO_BACKENDS:
+def _resolve_backend(backend: Optional[str]):
+    """The backend *object* for a name (default: numpy kernels).
+
+    Names resolve through the ``"pareto"`` backend registry, so kernels
+    registered by callers dispatch exactly like the built-ins.
+    """
+    name = _DEFAULT_BACKEND if backend is None else backend
+    try:
+        factory = get_backend("pareto", name)
+    except KeyError:
         raise ValueError(
-            f"backend must be one of {PARETO_BACKENDS}, got {resolved!r}")
-    return resolved
+            f"backend must be one of {backend_names('pareto')}, "
+            f"got {name!r}") from None
+    return factory()
 
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
@@ -109,15 +122,18 @@ def _nondominated_indices_python(
     return result
 
 
-def nondominated_indices(objective_vectors: Sequence[Sequence[float]],
-                         backend: Optional[str] = None) -> List[int]:
-    """Indices of the nondominated vectors (the Pareto front), ascending."""
-    if _resolve_backend(backend) == "python":
-        return _nondominated_indices_python(objective_vectors)
+def _nondominated_indices_numpy(
+        objective_vectors: Sequence[Sequence[float]]) -> List[int]:
     if len(objective_vectors) == 0:
         return []
     matrix = _domination_matrix(_objective_array(objective_vectors))
     return [int(i) for i in np.flatnonzero(matrix.sum(axis=0) == 0)]
+
+
+def nondominated_indices(objective_vectors: Sequence[Sequence[float]],
+                         backend: Optional[str] = None) -> List[int]:
+    """Indices of the nondominated vectors (the Pareto front), ascending."""
+    return _resolve_backend(backend).nondominated_indices(objective_vectors)
 
 
 def nondominated_filter(items: Sequence[T],
@@ -168,7 +184,11 @@ def _fast_nondominated_sort_python(
     return fronts
 
 
-def _fast_nondominated_sort_numpy(vectors: np.ndarray) -> List[List[int]]:
+def _fast_nondominated_sort_numpy(
+        objective_vectors: Sequence[Sequence[float]]) -> List[List[int]]:
+    if len(objective_vectors) == 0:
+        return []
+    vectors = _objective_array(objective_vectors)
     n = vectors.shape[0]
     matrix = _domination_matrix(vectors)
     counts = matrix.sum(axis=0).astype(np.int64)
@@ -191,11 +211,7 @@ def fast_nondominated_sort(objective_vectors: Sequence[Sequence[float]],
     Front 0 is the Pareto front; each subsequent front is nondominated once
     all previous fronts are removed.
     """
-    if _resolve_backend(backend) == "python":
-        return _fast_nondominated_sort_python(objective_vectors)
-    if len(objective_vectors) == 0:
-        return []
-    return _fast_nondominated_sort_numpy(_objective_array(objective_vectors))
+    return _resolve_backend(backend).fast_nondominated_sort(objective_vectors)
 
 
 # ----------------------------------------------------------------------
@@ -224,7 +240,11 @@ def _crowding_distances_python(
     return distances
 
 
-def _crowding_distances_numpy(vectors: np.ndarray) -> List[float]:
+def _crowding_distances_numpy(
+        objective_vectors: Sequence[Sequence[float]]) -> List[float]:
+    if len(objective_vectors) == 0:
+        return []
+    vectors = _objective_array(objective_vectors)
     n = vectors.shape[0]
     distances = np.zeros(n)
     for m in range(vectors.shape[1]):
@@ -250,8 +270,38 @@ def _crowding_distances_numpy(vectors: np.ndarray) -> List[float]:
 def crowding_distances(objective_vectors: Sequence[Sequence[float]],
                        backend: Optional[str] = None) -> List[float]:
     """Crowding distance of each vector within its (single) front."""
-    if _resolve_backend(backend) == "python":
-        return _crowding_distances_python(objective_vectors)
-    if len(objective_vectors) == 0:
-        return []
-    return _crowding_distances_numpy(_objective_array(objective_vectors))
+    return _resolve_backend(backend).crowding_distances(objective_vectors)
+
+
+# ----------------------------------------------------------------------
+# backend objects (the ``"pareto"`` registry's factory targets)
+# ----------------------------------------------------------------------
+class _ParetoKernels:
+    """One coherent set of the three Pareto kernels.
+
+    Instances are what the ``"pareto"`` backend registry's factories
+    return; third-party backends implement the same three methods (with
+    the canonical ascending-front ordering documented in this module) and
+    register a factory under their own name.
+    """
+
+    def __init__(self, name: str, nondominated_indices: Callable,
+                 fast_nondominated_sort: Callable,
+                 crowding_distances: Callable) -> None:
+        self.name = name
+        self.nondominated_indices = nondominated_indices
+        self.fast_nondominated_sort = fast_nondominated_sort
+        self.crowding_distances = crowding_distances
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_ParetoKernels({self.name!r})"
+
+
+#: Vectorized kernels (the default backend).
+NUMPY_PARETO_BACKEND = _ParetoKernels(
+    "numpy", _nondominated_indices_numpy, _fast_nondominated_sort_numpy,
+    _crowding_distances_numpy)
+#: Pure-Python reference kernels (the property tests' oracle).
+PYTHON_PARETO_BACKEND = _ParetoKernels(
+    "python", _nondominated_indices_python, _fast_nondominated_sort_python,
+    _crowding_distances_python)

@@ -1,0 +1,340 @@
+"""Named, introspectable registries for the engine's pluggable backends.
+
+Every performance-relevant subsystem of the engine is selected by a string
+field on :class:`~repro.core.settings.CaffeineSettings` -- how basis columns
+are computed on a cache miss (``column_backend``), how linear weights are
+fitted (``fit_backend``), which Pareto/NSGA-II kernels run
+(``pareto_backend``) and where uncached column work executes
+(``evaluation_backend``).  Before this module those strings were matched
+against literals scattered through ``settings.py``, ``evaluation.py`` and
+``pareto.py``, so adding a backend (a numexpr/GPU column evaluator, a
+stacked-GEMM fit path, a distributed executor) meant editing the engine.
+
+Now each *kind* of backend has one :class:`BackendRegistry` mapping names to
+factories.  Settings validation accepts exactly the registered names, and
+the dispatch sites resolve through :func:`get_backend` -- so an external
+package (or a test) can do::
+
+    from repro.core.registry import register_backend
+
+    register_backend("pareto", "my-kernels", lambda: MyParetoKernels())
+    settings = CaffeineSettings(pareto_backend="my-kernels")
+
+and the engine will run with it, no core edits required.
+
+Factory contracts by kind (what ``factory(...)`` must accept and return):
+
+``"column"``
+    ``factory(X, settings) -> backend`` where ``backend`` exposes
+    ``basis_key(basis) -> hashable`` (the exact evaluation-recipe identity
+    used as the cache key), ``evaluate(basis, key) -> ndarray`` (compute one
+    column given a precomputed key) and ``column(basis) -> ndarray`` (key +
+    evaluate in one call, used by worker processes).  An optional
+    ``compiler`` attribute exposes a :class:`~repro.core.compile.TreeCompiler`
+    for introspection.  A backend that cannot bit-for-bit reproduce the
+    interpreter must say so in its docs -- the engine's equivalence
+    guarantees only cover backends that can.
+
+``"fit"``
+    ``factory(evaluator) -> backend`` where ``backend`` exposes
+    ``prepare_batch(pending)`` (batch-precompute whatever the coming
+    evaluations need; may be a no-op) and ``evaluate(individual,
+    basis_keys)`` (set ``fit``/``error``/``complexity``/``normalization``
+    on the individual in place).  ``evaluator`` is the calling
+    :class:`~repro.core.evaluation.PopulationEvaluator`; its caches, data
+    and settings are the backend's toolbox.
+
+``"pareto"``
+    ``factory() -> backend`` where ``backend`` exposes
+    ``nondominated_indices(vectors)``, ``fast_nondominated_sort(vectors)``
+    and ``crowding_distances(vectors)`` over sequences of objective tuples,
+    with the canonical ascending-front ordering documented in
+    :mod:`repro.core.pareto`.
+
+``"evaluation"``
+    ``factory(workers, X, column_backend) -> executor or None`` where the
+    executor exposes ``map(fn, iterable)`` (order-preserving) and
+    ``shutdown(wait=..., cancel_futures=...)``; ``None`` means run on the
+    calling thread.  ``column_backend`` is the configured column-backend
+    *name* so process-pool workers can rebuild their per-process state.
+
+The built-in names are registered at import time with lazily-importing
+factories, so the registries are fully populated as soon as this module
+loads (settings validation may run before the heavyweight modules import).
+
+One caveat for *runtime* registrations: registries are per-process state.
+Worker processes created with the ``fork`` start method (the Linux
+default) inherit the parent's registrations, but ``spawn``-started workers
+(macOS/Windows defaults) import this module fresh and only know the
+built-ins -- so a custom backend used together with
+``Session(jobs > 1)`` or ``evaluation_backend="process"`` must be
+registered at import time of a module the worker also imports (or run
+under ``fork``).  :class:`~repro.core.session.Session` fails fast on this
+combination; :func:`is_builtin_backend` is the check it uses.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterator, Tuple
+
+__all__ = [
+    "BACKEND_KINDS",
+    "BackendRegistry",
+    "available_backends",
+    "backend_names",
+    "backend_registry",
+    "get_backend",
+    "is_builtin_backend",
+    "register_backend",
+    "unregister_backend",
+    "worker_start_method",
+]
+
+
+def worker_start_method() -> str:
+    """The multiprocessing start method new worker pools will use.
+
+    Reads the configured method *without pinning the default* (a bare
+    ``multiprocessing.get_start_method()`` -- and even
+    ``get_context().get_start_method()`` -- set it as a side effect,
+    making a later ``set_start_method()`` by the embedding application
+    raise).  Shared by every site that must decide whether runtime backend
+    registrations survive into worker processes ("fork" inherits them;
+    "spawn"/"forkserver" re-import this module fresh).
+    """
+    import multiprocessing
+
+    method = multiprocessing.get_start_method(allow_none=True)
+    if method is None:
+        # Documented: the first supported method is the platform default.
+        method = multiprocessing.get_all_start_methods()[0]
+    return method
+
+#: The backend kinds the engine dispatches on (one registry per kind).
+BACKEND_KINDS = ("column", "fit", "pareto", "evaluation")
+
+
+class BackendRegistry:
+    """One named-factory table for one kind of backend.
+
+    Registration and lookup are thread-safe; factories themselves are
+    stored as given and called at the dispatch sites (see the per-kind
+    contracts in the module docstring).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = str(kind)
+        self._factories: Dict[str, Callable] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, factory: Callable, *,
+                 replace: bool = False) -> None:
+        """Register ``factory`` under ``name``.
+
+        Re-registering an existing name raises unless ``replace=True`` --
+        silently shadowing a built-in is how bit-for-bit guarantees die.
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError("backend name must be a non-empty string")
+        if not callable(factory):
+            raise TypeError(f"backend factory for {name!r} must be callable")
+        with self._lock:
+            if name in self._factories and not replace:
+                raise ValueError(
+                    f"{self.kind} backend {name!r} is already registered "
+                    f"(pass replace=True to shadow it deliberately)")
+            self._factories[name] = factory
+
+    def unregister(self, name: str) -> Callable:
+        """Remove and return the factory registered under ``name``."""
+        with self._lock:
+            try:
+                return self._factories.pop(name)
+            except KeyError:
+                raise KeyError(
+                    f"no {self.kind} backend named {name!r} "
+                    f"(registered: {self.names()})") from None
+
+    def get(self, name: str) -> Callable:
+        """The factory registered under ``name`` (KeyError lists options)."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise KeyError(
+                f"no {self.kind} backend named {name!r} "
+                f"(registered: {self.names()})") from None
+
+    # ------------------------------------------------------------------
+    def names(self) -> Tuple[str, ...]:
+        """Registered backend names, sorted."""
+        return tuple(sorted(self._factories))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BackendRegistry({self.kind!r}, names={list(self.names())})"
+
+
+_REGISTRIES: Dict[str, BackendRegistry] = {
+    kind: BackendRegistry(kind) for kind in BACKEND_KINDS
+}
+
+
+def backend_registry(kind: str) -> BackendRegistry:
+    """The registry for one backend kind (KeyError on unknown kinds)."""
+    try:
+        return _REGISTRIES[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend kind {kind!r} (kinds: {BACKEND_KINDS})") from None
+
+
+def register_backend(kind: str, name: str, factory: Callable, *,
+                     replace: bool = False) -> None:
+    """Register ``factory`` as the ``kind`` backend named ``name``."""
+    backend_registry(kind).register(name, factory, replace=replace)
+
+
+def unregister_backend(kind: str, name: str) -> Callable:
+    """Remove (and return) a registered backend factory."""
+    return backend_registry(kind).unregister(name)
+
+
+def get_backend(kind: str, name: str) -> Callable:
+    """The factory for the ``kind`` backend named ``name``."""
+    return backend_registry(kind).get(name)
+
+
+def backend_names(kind: str) -> Tuple[str, ...]:
+    """Registered names for one kind (what settings validation accepts)."""
+    return backend_registry(kind).names()
+
+
+def available_backends() -> Dict[str, Tuple[str, ...]]:
+    """Every registered backend name, keyed by kind (introspection aid)."""
+    return {kind: _REGISTRIES[kind].names() for kind in BACKEND_KINDS}
+
+
+# ----------------------------------------------------------------------
+# Built-in backends.  Factories import lazily: the registries must be fully
+# populated the moment this module loads (settings validation runs early),
+# but importing the implementation modules here would be circular.
+# ----------------------------------------------------------------------
+def _interp_column_factory(X, settings):
+    from repro.core.evaluation import InterpColumnBackend
+
+    return InterpColumnBackend(X, settings)
+
+
+def _compiled_column_factory(X, settings):
+    from repro.core.evaluation import CompiledColumnBackend
+
+    return CompiledColumnBackend(X, settings)
+
+
+def _direct_fit_factory(evaluator):
+    from repro.core.evaluation import DirectFitBackend
+
+    return DirectFitBackend(evaluator)
+
+
+def _gram_fit_factory(evaluator):
+    from repro.core.evaluation import DirectFitBackend, GramFitBackend
+
+    # A zero pool size disables the pool, which implies direct fits -- the
+    # documented semantics of CaffeineSettings.gram_pool_size.
+    if evaluator.settings.gram_pool_size <= 0:
+        return DirectFitBackend(evaluator)
+    return GramFitBackend(evaluator)
+
+
+def _numpy_pareto_factory():
+    from repro.core.pareto import NUMPY_PARETO_BACKEND
+
+    return NUMPY_PARETO_BACKEND
+
+
+def _python_pareto_factory():
+    from repro.core.pareto import PYTHON_PARETO_BACKEND
+
+    return PYTHON_PARETO_BACKEND
+
+
+def _serial_executor_factory(workers, X, column_backend):
+    return None
+
+
+def _thread_executor_factory(workers, X, column_backend):
+    import concurrent.futures
+
+    return concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+
+
+def _process_executor_factory(workers, X, column_backend):
+    import concurrent.futures
+
+    from repro.core.evaluation import _init_worker
+
+    # Workers rebuild the column backend by *name*; under a non-fork start
+    # method they import this registry fresh, so a runtime-registered (or
+    # replace=True-shadowed) name would die as an opaque KeyError inside
+    # the pool.  Fail fast with the cause instead.
+    method = worker_start_method()
+    if method != "fork" and not is_builtin_backend("column", column_backend):
+        raise ValueError(
+            f"evaluation_backend='process' worker processes start via "
+            f"{method!r} and resolve column_backend={column_backend!r} "
+            f"against a freshly imported registry that only knows the "
+            f"built-in bindings; use a thread/serial evaluation backend, "
+            f"switch to the 'fork' start method, or register the backend "
+            f"at import time of a module the workers import")
+    # X is shipped once per worker via the initializer; tasks then carry
+    # only the basis trees.
+    return concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker,
+        initargs=(X, column_backend))
+
+
+_REGISTRIES["column"].register("interp", _interp_column_factory)
+_REGISTRIES["column"].register("compiled", _compiled_column_factory)
+_REGISTRIES["fit"].register("direct", _direct_fit_factory)
+_REGISTRIES["fit"].register("gram", _gram_fit_factory)
+_REGISTRIES["pareto"].register("numpy", _numpy_pareto_factory)
+_REGISTRIES["pareto"].register("python", _python_pareto_factory)
+_REGISTRIES["evaluation"].register("serial", _serial_executor_factory)
+_REGISTRIES["evaluation"].register("thread", _thread_executor_factory)
+_REGISTRIES["evaluation"].register("process", _process_executor_factory)
+
+#: the factories this module registered itself -- the only bindings a
+#: ``spawn``-started worker process is guaranteed to reproduce (see the
+#: module docstring's per-process caveat)
+_BUILTIN_FACTORIES = {kind: dict(_REGISTRIES[kind]._factories)
+                      for kind in BACKEND_KINDS}
+
+
+def is_builtin_backend(kind: str, name: str) -> bool:
+    """Whether ``name`` currently resolves to this module's own registration.
+
+    False for caller-registered names *and* for built-in names shadowed via
+    ``register_backend(..., replace=True)`` -- in both cases a fresh worker
+    process would resolve the name differently than this process does.
+    """
+    if kind not in _BUILTIN_FACTORIES:
+        raise KeyError(
+            f"unknown backend kind {kind!r} (kinds: {BACKEND_KINDS})")
+    original = _BUILTIN_FACTORIES[kind].get(name)
+    if original is None:
+        return False
+    try:
+        return _REGISTRIES[kind].get(name) is original
+    except KeyError:  # a built-in that was unregistered outright
+        return False

@@ -1,0 +1,392 @@
+"""``Session``: run many :class:`~repro.core.problem.Problem`\\ s over one
+shared, persistently cached substrate.
+
+The paper's evaluation is a *sweep*: six CAFFEINE runs over six OTA
+performances that all evaluate basis functions on the same ``X``.  A
+:class:`Session` is that sweep as an object -- an ordered list of problems
+run serially or on a process pool, sharing one fingerprinted column cache
+(in memory when serial, through a lock-protected
+:class:`~repro.core.cache_store.ColumnCacheStore` file when parallel or
+persistent), with a structured callback API replacing the ad-hoc
+``progress`` callable of :func:`~repro.core.engine.run_caffeine`::
+
+    from repro import Problem, Session
+
+    session = Session([Problem(train_pm, test_pm, name="PM"),
+                       Problem(train_alf, test_alf, name="ALF")],
+                      settings=settings, jobs=2,
+                      column_cache_path="columns.cache")
+    outcome = session.run()
+    outcome["PM"].best_model().expression()
+
+Guarantees (same discipline as the engine's other fast paths):
+
+* the Session path is **bit-for-bit identical** to looping
+  ``run_caffeine`` by hand -- each problem runs its own engine under its
+  own (or the session's) settings and seed, and caches never change
+  results, only wall-clock time;
+* ``jobs > 1`` is bit-for-bit identical to serial: runs are independent,
+  so process-pool scheduling cannot reorder any run's random stream;
+* concurrent workers saving the shared cache file merge under an advisory
+  lock -- no run's columns are lost (see
+  :meth:`~repro.core.cache_store.ColumnCacheStore.save`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.cache_store import ColumnCacheStore
+from repro.core.engine import CaffeineEngine, CaffeineResult, GenerationStats
+from repro.core.evaluation import BasisColumnCache
+from repro.core.problem import Problem
+from repro.core.settings import CaffeineSettings
+
+__all__ = ["Session", "SessionCallback", "SessionResult", "ProgressPrinter",
+           "LegacyProgressCallback"]
+
+
+class SessionCallback:
+    """Structured observer of a session run (all hooks default to no-ops).
+
+    Subclass and override what you need; pass instances via
+    ``Session(callbacks=[...])``.  Hooks fire on the orchestrating process:
+    every hook fires for serial sessions, while under ``jobs > 1`` the
+    per-generation hook cannot (generations happen inside worker
+    processes) -- problem-level hooks still fire in submission/completion
+    order.
+    """
+
+    def on_session_start(self, problems: Sequence[Problem]) -> None:
+        """Before the first problem runs."""
+
+    def on_problem_start(self, problem: Problem, index: int,
+                         total: int) -> None:
+        """Before (serial) or at submission of (parallel) one problem."""
+
+    def on_generation(self, problem: Problem, generation: int,
+                      stats: GenerationStats) -> None:
+        """After each generation of a serial run (never fires when
+        ``jobs > 1``; the engine loop is in another process)."""
+
+    def on_problem_end(self, problem: Problem, result: CaffeineResult,
+                       index: int, total: int) -> None:
+        """After one problem's result is available."""
+
+    def on_checkpoint(self, problem: Problem, path: str,
+                      n_entries: int) -> None:
+        """After a mid-session column-cache checkpoint was written."""
+
+    def on_session_end(self, result: "SessionResult") -> None:
+        """After every problem finished and the cache (if any) was saved."""
+
+
+class ProgressPrinter(SessionCallback):
+    """Prints one line per problem and (serially) per generation."""
+
+    def __init__(self, every: int = 10, printer: Callable = print) -> None:
+        self.every = max(1, int(every))
+        self.printer = printer
+
+    def on_problem_start(self, problem: Problem, index: int,
+                         total: int) -> None:
+        self.printer(f"[{index + 1}/{total}] {problem.name}: starting")
+
+    def on_generation(self, problem: Problem, generation: int,
+                      stats: GenerationStats) -> None:
+        if generation % self.every == 0:
+            self.printer(f"[{problem.name}] {stats}")
+
+    def on_problem_end(self, problem: Problem, result: CaffeineResult,
+                       index: int, total: int) -> None:
+        self.printer(f"[{index + 1}/{total}] {problem.name}: "
+                     f"{result.n_models} models in "
+                     f"{result.runtime_seconds:.1f} s")
+
+
+class LegacyProgressCallback(SessionCallback):
+    """Adapter: the old ``progress(generation, stats)`` callable as a
+    callback (what the :func:`~repro.core.engine.run_caffeine` shim uses)."""
+
+    def __init__(self, progress: Callable[[int, GenerationStats], None]
+                 ) -> None:
+        self.progress = progress
+
+    def on_generation(self, problem: Problem, generation: int,
+                      stats: GenerationStats) -> None:
+        self.progress(generation, stats)
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionResult:
+    """Everything a session run produced, in problem order."""
+
+    problems: Tuple[Problem, ...]
+    #: per-problem results, keyed by problem name, in run order
+    results: Dict[str, CaffeineResult]
+    runtime_seconds: float
+    jobs: int
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.results)
+
+    def __getitem__(self, key: Union[str, int]) -> CaffeineResult:
+        """Result by problem name, or by position in run order."""
+        if isinstance(key, int):
+            return self.results[tuple(self.results)[key]]
+        return self.results[key]
+
+    def items(self):
+        return self.results.items()
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self.results)
+
+    def single(self) -> CaffeineResult:
+        """The result of a one-problem session (ValueError otherwise)."""
+        if len(self.results) != 1:
+            raise ValueError(
+                f"session ran {len(self.results)} problems, not 1")
+        return next(iter(self.results.values()))
+
+
+class Session:
+    """Orchestrates CAFFEINE runs over a list of problems.
+
+    Parameters
+    ----------
+    problems:
+        Initial problems (more via :meth:`add`); names must be unique.
+    settings:
+        Shared :class:`CaffeineSettings` for problems without their own.
+    jobs:
+        1 (default) runs serially on this process with one shared
+        in-memory column cache; ``n > 1`` runs up to ``n`` problems
+        concurrently on a process pool, sharing columns through
+        ``column_cache_path`` (if given).  Results are identical either
+        way -- see the module docstring.
+    column_cache:
+        Optional in-memory cache to share (serial only); defaults to a
+        fresh one sized to the largest per-problem ``basis_cache_size``.
+        Problems whose effective settings disable caching
+        (``basis_cache_size=0``) never touch the shared cache.
+    column_cache_path:
+        Optional :class:`ColumnCacheStore` path: the session warm-starts
+        from it and saves back everything it computed.  With ``jobs > 1``
+        every worker loads it at start and merge-saves at end (under the
+        store's advisory lock), so parallel sweeps still pool their
+        columns across problems and across sessions.
+    callbacks:
+        :class:`SessionCallback` instances observing the run.
+    checkpoint_column_cache:
+        Serially, save the shared cache to ``column_cache_path`` after
+        *each* problem (not just at the end), so an interrupted sweep
+        keeps the warmth it paid for.  Parallel sessions checkpoint
+        inherently (each worker saves on completion).
+    """
+
+    def __init__(self, problems: Sequence[Problem] = (),
+                 settings: Optional[CaffeineSettings] = None, *,
+                 jobs: int = 1,
+                 column_cache: Optional[BasisColumnCache] = None,
+                 column_cache_path: Optional[str] = None,
+                 callbacks: Sequence[SessionCallback] = (),
+                 checkpoint_column_cache: bool = False) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if column_cache is not None and jobs > 1:
+            raise ValueError(
+                "an in-memory column_cache cannot be shared across "
+                "processes; use column_cache_path with jobs > 1")
+        if checkpoint_column_cache and column_cache_path is None:
+            raise ValueError(
+                "checkpoint_column_cache=True has nothing to write to; "
+                "pass column_cache_path as well")
+        self.problems: List[Problem] = []
+        self.settings = settings
+        self.jobs = int(jobs)
+        self.column_cache = column_cache
+        self.column_cache_path = (str(column_cache_path)
+                                  if column_cache_path is not None else None)
+        self.callbacks: List[SessionCallback] = list(callbacks)
+        self.checkpoint_column_cache = bool(checkpoint_column_cache)
+        for problem in problems:
+            self.add(problem)
+
+    # ------------------------------------------------------------------
+    def add(self, problem: Problem) -> "Session":
+        """Append a problem (chainable); names must stay unique."""
+        if not isinstance(problem, Problem):
+            raise TypeError(f"expected a Problem, got {type(problem).__name__}")
+        if any(existing.name == problem.name for existing in self.problems):
+            raise ValueError(
+                f"a problem named {problem.name!r} is already scheduled "
+                f"(names key the result mapping and must be unique)")
+        self.problems.append(problem)
+        return self
+
+    def add_callback(self, callback: SessionCallback) -> "Session":
+        self.callbacks.append(callback)
+        return self
+
+    # ------------------------------------------------------------------
+    def run(self) -> SessionResult:
+        """Run every problem and return the ordered result mapping."""
+        if not self.problems:
+            raise ValueError("session has no problems to run")
+        start = time.perf_counter()
+        self._fire("on_session_start", tuple(self.problems))
+        if self.jobs > 1 and len(self.problems) > 1:
+            results = self._run_parallel()
+        else:
+            results = self._run_serial()
+        outcome = SessionResult(
+            problems=tuple(self.problems),
+            results=results,
+            runtime_seconds=time.perf_counter() - start,
+            jobs=self.jobs,
+        )
+        self._fire("on_session_end", outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _run_serial(self) -> Dict[str, CaffeineResult]:
+        # The shared cache is sized to the largest per-problem request so
+        # no problem's working set is squeezed by a smaller neighbour;
+        # problems that *disable* caching (basis_cache_size=0) opt out of
+        # sharing entirely below (their engines build their own disabled
+        # caches, which also keeps their fit caches off).
+        cache_sizes = [problem.effective_settings(self.settings)
+                       .basis_cache_size for problem in self.problems]
+        cache = (self.column_cache if self.column_cache is not None
+                 else BasisColumnCache(max(cache_sizes)))
+        store = (ColumnCacheStore(self.column_cache_path)
+                 if self.column_cache_path is not None else None)
+        total = len(self.problems)
+        results: Dict[str, CaffeineResult] = {}
+        loaded_namespaces = set()
+        for index, problem in enumerate(self.problems):
+            self._fire("on_problem_start", problem, index, total)
+            effective = problem.effective_settings(self.settings)
+            engine = CaffeineEngine(
+                problem.train, test=problem.test, settings=effective,
+                column_cache=(cache if effective.basis_cache_size > 0
+                              else None))
+            if store is not None and effective.basis_cache_size > 0:
+                # Admit only this problem's namespace into the LRU (a shared
+                # store file only grows; foreign namespaces would occupy --
+                # and at capacity evict -- the warm columns this sweep
+                # actually uses).  Each namespace loads once per session.
+                dataset_key = engine.evaluator.dataset_key
+                if dataset_key not in loaded_namespaces:
+                    loaded_namespaces.add(dataset_key)
+                    store.load_into(cache, dataset_key=dataset_key)
+            progress = self._generation_progress(problem)
+            result = engine.run(progress=progress)
+            results[problem.name] = result
+            self._fire("on_problem_end", problem, result, index, total)
+            if store is not None and self.checkpoint_column_cache \
+                    and index + 1 < total:
+                n_entries = store.save(cache)
+                self._fire("on_checkpoint", problem, str(store.path),
+                           n_entries)
+        if store is not None:
+            store.save(cache)
+        return results
+
+    def _run_parallel(self) -> Dict[str, CaffeineResult]:
+        import concurrent.futures
+
+        self._check_backends_survive_workers()
+        total = len(self.problems)
+        workers = min(self.jobs, total)
+        results: Dict[str, CaffeineResult] = {}
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers) as pool:
+            futures = []
+            for index, problem in enumerate(self.problems):
+                self._fire("on_problem_start", problem, index, total)
+                futures.append(pool.submit(
+                    _run_problem_task, problem,
+                    problem.effective_settings(self.settings),
+                    self.column_cache_path))
+            # Collect in submission order: the result mapping (and the
+            # callbacks' completion order) stay deterministic regardless
+            # of which worker finishes first.
+            for index, (problem, future) in enumerate(
+                    zip(self.problems, futures)):
+                result = future.result()
+                results[problem.name] = result
+                self._fire("on_problem_end", problem, result, index, total)
+        return results
+
+    # ------------------------------------------------------------------
+    def _check_backends_survive_workers(self) -> None:
+        """Fail fast when runtime-registered backends cannot reach workers.
+
+        Backend registries are per-process: ``fork``-started workers (the
+        Linux default) inherit the parent's runtime registrations, but
+        ``spawn``-started ones import the registry fresh and only know the
+        built-ins -- a custom backend name would die inside the pool with
+        an opaque KeyError.  Raise a diagnosable error here instead.
+        """
+        from repro.core.registry import is_builtin_backend, \
+            worker_start_method
+
+        method = worker_start_method()
+        if method == "fork":
+            return
+        for problem in self.problems:
+            settings = problem.effective_settings(self.settings)
+            for kind, name in (("column", settings.column_backend),
+                               ("fit", settings.fit_backend),
+                               ("pareto", settings.pareto_backend),
+                               ("evaluation", settings.evaluation_backend)):
+                if not is_builtin_backend(kind, name):
+                    raise ValueError(
+                        f"problem {problem.name!r} uses the runtime-"
+                        f"registered {kind} backend {name!r}, but jobs="
+                        f"{self.jobs} worker processes start via "
+                        f"{method!r} and only know the built-in backends; "
+                        f"run serially (jobs=1), switch to the 'fork' "
+                        f"start method, or register the backend at import "
+                        f"time of a module the workers import")
+
+    def _generation_progress(self, problem: Problem):
+        callbacks = self.callbacks
+        if not callbacks:
+            return None
+
+        def progress(generation: int, stats: GenerationStats) -> None:
+            for callback in callbacks:
+                callback.on_generation(problem, generation, stats)
+
+        return progress
+
+    def _fire(self, hook: str, *args) -> None:
+        for callback in self.callbacks:
+            getattr(callback, hook)(*args)
+
+
+def _run_problem_task(problem: Problem, settings: CaffeineSettings,
+                      column_cache_path: Optional[str]) -> CaffeineResult:
+    """One worker's whole job: warm-load, run, merge-save (picklable)."""
+    cache = BasisColumnCache(settings.basis_cache_size)
+    store = (ColumnCacheStore(column_cache_path)
+             if column_cache_path is not None else None)
+    engine = CaffeineEngine(problem.train, test=problem.test,
+                            settings=settings, column_cache=cache)
+    if store is not None:
+        # Namespace-filtered, like the serial path: only this problem's
+        # columns occupy LRU room (save() below still merges, never erases).
+        store.load_into(cache, dataset_key=engine.evaluator.dataset_key)
+    result = engine.run()
+    if store is not None:
+        store.save(cache)
+    return result

@@ -25,6 +25,7 @@ import dataclasses
 from typing import Optional
 
 from repro.core.functions import FunctionSet, default_function_set
+from repro.core.registry import backend_names
 
 __all__ = ["CaffeineSettings"]
 
@@ -168,21 +169,26 @@ class CaffeineSettings:
             raise ValueError("complexity constants must be non-negative")
         if self.sag_min_relative_improvement < 0:
             raise ValueError("sag_min_relative_improvement must be non-negative")
-        if self.evaluation_backend not in ("serial", "thread", "process"):
-            raise ValueError(
-                "evaluation_backend must be 'serial', 'thread' or 'process'")
+        # Backend names validate against the live registries
+        # (repro.core.registry), so backends registered by callers are
+        # accepted everywhere a built-in name is.
+        self._validate_backend("evaluation", self.evaluation_backend)
         if self.evaluation_workers < 0:
             raise ValueError("evaluation_workers must be non-negative")
-        if self.column_backend not in ("interp", "compiled"):
-            raise ValueError("column_backend must be 'interp' or 'compiled'")
+        self._validate_backend("column", self.column_backend)
         if self.basis_cache_size < 0:
             raise ValueError("basis_cache_size must be non-negative")
-        if self.fit_backend not in ("gram", "direct"):
-            raise ValueError("fit_backend must be 'gram' or 'direct'")
+        self._validate_backend("fit", self.fit_backend)
         if self.gram_pool_size < 0:
             raise ValueError("gram_pool_size must be non-negative")
-        if self.pareto_backend not in ("numpy", "python"):
-            raise ValueError("pareto_backend must be 'numpy' or 'python'")
+        self._validate_backend("pareto", self.pareto_backend)
+
+    @staticmethod
+    def _validate_backend(kind: str, name: str) -> None:
+        registered = backend_names(kind)
+        if name not in registered:
+            raise ValueError(
+                f"{kind}_backend must be one of {registered}, got {name!r}")
 
     # ------------------------------------------------------------------
     @classmethod

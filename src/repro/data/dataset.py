@@ -15,7 +15,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Dataset", "train_test_from_doe"]
+__all__ = ["Dataset", "train_test_from_doe", "validate_train_test_pair"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -133,6 +133,10 @@ class Dataset:
     def select_rows(self, mask_or_indices: Iterable) -> "Dataset":
         """Return a subset of rows (boolean mask or integer indices)."""
         idx = np.asarray(list(mask_or_indices))
+        if idx.size == 0:
+            # An empty list defaults to float64, which numpy rejects as an
+            # index; an empty selection is a legal (empty) dataset.
+            idx = idx.astype(np.intp)
         return Dataset(
             X=self.X[idx],
             y=self.y[idx],
@@ -207,13 +211,11 @@ class Dataset:
         )
 
 
-def train_test_from_doe(train: Dataset, test: Dataset) -> Tuple[Dataset, Dataset]:
-    """Validate that a train/test dataset pair is compatible and clean it.
+def validate_train_test_pair(train: Dataset, test: Dataset) -> None:
+    """Raise ``ValueError`` unless a train/test pair is compatible.
 
-    Checks that both datasets use the same variables and the same target, and
-    drops non-converged (non-finite) samples from both.  Mirrors the paper's
-    setup where training data comes from a ``dx = 0.10`` DOE and testing data
-    from a ``dx = 0.03`` DOE over the same design variables.
+    Checks variables, target name and log-scaling agree; allocation-free
+    (no data is copied or cleaned), so it is safe to call per-Problem.
     """
     if train.variable_names != test.variable_names:
         raise ValueError("train and test datasets use different design variables")
@@ -223,4 +225,15 @@ def train_test_from_doe(train: Dataset, test: Dataset) -> Tuple[Dataset, Dataset
         )
     if train.log_scaled != test.log_scaled:
         raise ValueError("train and test datasets differ in log-scaling")
+
+
+def train_test_from_doe(train: Dataset, test: Dataset) -> Tuple[Dataset, Dataset]:
+    """Validate that a train/test dataset pair is compatible and clean it.
+
+    Checks that both datasets use the same variables and the same target, and
+    drops non-converged (non-finite) samples from both.  Mirrors the paper's
+    setup where training data comes from a ``dx = 0.10`` DOE and testing data
+    from a ``dx = 0.03`` DOE over the same design variables.
+    """
+    validate_train_test_pair(train, test)
     return train.drop_nonfinite(), test.drop_nonfinite()

@@ -19,11 +19,12 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Tuple
 
-from repro.core.engine import CaffeineResult, run_caffeine
+from repro.core.engine import CaffeineResult
 from repro.core.functions import polynomial_function_set, rational_function_set
+from repro.core.problem import Problem
+from repro.core.session import Session
 from repro.core.settings import CaffeineSettings
-from repro.experiments.setup import OtaDatasets, generate_ota_datasets, \
-    persistent_shared_cache
+from repro.experiments.setup import OtaDatasets, generate_ota_datasets
 from repro.gp.regression import PlainGPResult, PlainGPSettings, run_plain_gp
 
 __all__ = ["AblationEntry", "AblationResult", "run_ablation"]
@@ -94,50 +95,46 @@ def run_ablation(datasets: Optional[OtaDatasets] = None,
                  settings: Optional[CaffeineSettings] = None,
                  target: str = "PM",
                  include_single_objective: bool = True,
-                 column_cache_path: Optional[str] = None) -> AblationResult:
+                 column_cache_path: Optional[str] = None,
+                 jobs: int = 1) -> AblationResult:
     """Run the ablation study for one OTA performance.
 
-    ``column_cache_path`` persists the shared column cache on disk (see
-    :func:`repro.experiments.setup.persistent_shared_cache`).
+    The CAFFEINE variants run as one :class:`~repro.core.session.Session`
+    of per-problem-settings :class:`~repro.core.problem.Problem`\\ s
+    (``column_cache_path`` persists the shared column cache, ``jobs > 1``
+    runs variants concurrently); the plain-GP baseline runs inline.
     """
     datasets = datasets if datasets is not None else generate_ota_datasets()
     settings = settings if settings is not None else CaffeineSettings()
     train, test = datasets.for_target(target)
 
-    entries = []
-    # The four CAFFEINE variants evaluate on the same X; a shared
-    # (fingerprinted) column cache lets runs with the same function set
-    # (full grammar and error-only) reuse each other's columns.  The
+    # The four CAFFEINE variants evaluate on the same X; the session's
+    # shared (fingerprinted) column cache lets runs with the same function
+    # set (full grammar and error-only) reuse each other's columns.  The
     # rational/polynomial variants hash to their own namespaces -- cache
     # keys identify operators by name, so cross-set reuse is only enabled
     # between provably identical operator bindings.
-    with persistent_shared_cache(settings, column_cache_path) as column_cache:
-        full = run_caffeine(train, test, settings, column_cache=column_cache)
-        entries.append(_entry_from_caffeine("CAFFEINE (full grammar)", target,
-                                            full))
-
-        rational = run_caffeine(
-            train, test, settings.copy(function_set=rational_function_set()),
-            column_cache=column_cache)
-        entries.append(_entry_from_caffeine("CAFFEINE (rationals)", target,
-                                            rational))
-
-        polynomial = run_caffeine(
-            train, test, settings.copy(function_set=polynomial_function_set()),
-            column_cache=column_cache)
-        entries.append(_entry_from_caffeine("CAFFEINE (polynomials)", target,
-                                            polynomial))
-
-        if include_single_objective:
-            # Error-only pressure: make complexity essentially free so that
-            # the multi-objective machinery degenerates to single-objective
-            # search.
-            single = run_caffeine(train, test,
-                                  settings.copy(basis_function_cost=0.0,
-                                                vc_exponent_cost=0.0),
-                                  column_cache=column_cache)
-            entries.append(_entry_from_caffeine("CAFFEINE (error-only)",
-                                                target, single))
+    variants = [
+        Problem(train=train, test=test, name="CAFFEINE (full grammar)",
+                settings=settings),
+        Problem(train=train, test=test, name="CAFFEINE (rationals)",
+                settings=settings.copy(function_set=rational_function_set())),
+        Problem(train=train, test=test, name="CAFFEINE (polynomials)",
+                settings=settings.copy(
+                    function_set=polynomial_function_set())),
+    ]
+    if include_single_objective:
+        # Error-only pressure: make complexity essentially free so that
+        # the multi-objective machinery degenerates to single-objective
+        # search.
+        variants.append(Problem(
+            train=train, test=test, name="CAFFEINE (error-only)",
+            settings=settings.copy(basis_function_cost=0.0,
+                                   vc_exponent_cost=0.0)))
+    outcome = Session(variants, settings=settings, jobs=jobs,
+                      column_cache_path=column_cache_path).run()
+    entries = [_entry_from_caffeine(name, target, result)
+               for name, result in outcome.items()]
 
     gp_settings = PlainGPSettings(
         population_size=settings.population_size,

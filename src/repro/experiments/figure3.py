@@ -19,7 +19,7 @@ from repro.core.engine import CaffeineResult
 from repro.core.report import tradeoff_table
 from repro.core.settings import CaffeineSettings
 from repro.experiments.setup import OtaDatasets, generate_ota_datasets, \
-    persistent_shared_cache, run_caffeine_for_target
+    session_for_targets
 
 __all__ = ["Figure3Series", "Figure3Result", "run_figure3"]
 
@@ -96,26 +96,28 @@ def _series_from_result(target: str, result: CaffeineResult) -> Figure3Series:
 def run_figure3(datasets: Optional[OtaDatasets] = None,
                 settings: Optional[CaffeineSettings] = None,
                 targets: Optional[Sequence[str]] = None,
-                column_cache_path: Optional[str] = None) -> Figure3Result:
+                column_cache_path: Optional[str] = None,
+                jobs: int = 1) -> Figure3Result:
     """Regenerate the Figure 3 data (optionally for a subset of performances).
 
-    ``column_cache_path`` persists the sweep's shared column cache on disk,
-    so repeated sweeps (and the other drivers pointed at the same path)
-    start warm; it never changes the models.
+    The sweep is one :class:`~repro.core.session.Session` over the selected
+    performances: all six evaluate on the same ``X``, so the session's
+    shared (fingerprinted) column cache lets each run reuse the columns the
+    previous ones computed.  ``column_cache_path`` persists that cache on
+    disk so repeated sweeps -- and the other drivers pointed at the same
+    path -- start warm; ``jobs > 1`` runs performances concurrently.
+    Neither changes the models.
     """
     datasets = datasets if datasets is not None else generate_ota_datasets()
     settings = settings if settings is not None else CaffeineSettings()
     selected = tuple(targets) if targets is not None else datasets.performance_names
 
-    series: Dict[str, Figure3Series] = {}
-    results: Dict[str, CaffeineResult] = {}
-    # All six performances evaluate on the same X: one shared (fingerprinted)
-    # column cache lets each run reuse the columns the previous ones computed
-    # -- and, with a path, the columns previous *processes* computed.
-    with persistent_shared_cache(settings, column_cache_path) as column_cache:
-        for target in selected:
-            result = run_caffeine_for_target(datasets, target, settings,
-                                             column_cache=column_cache)
-            results[target] = result
-            series[target] = _series_from_result(target, result)
+    outcome = session_for_targets(datasets, selected, settings,
+                                  column_cache_path=column_cache_path,
+                                  jobs=jobs).run()
+    results: Dict[str, CaffeineResult] = dict(outcome.items())
+    series: Dict[str, Figure3Series] = {
+        target: _series_from_result(target, results[target])
+        for target in selected
+    }
     return Figure3Result(series=series, results=results, settings=settings)

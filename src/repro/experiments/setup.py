@@ -29,11 +29,14 @@ from repro.circuits.ota import (
 from repro.core.cache_store import ColumnCacheStore
 from repro.core.engine import CaffeineResult, run_caffeine
 from repro.core.evaluation import BasisColumnCache
+from repro.core.problem import Problem
+from repro.core.session import Session, SessionCallback
 from repro.core.settings import CaffeineSettings
 from repro.data.dataset import Dataset, train_test_from_doe
 from repro.doe.sampling import DoePlan
 
 __all__ = ["OtaDatasets", "generate_ota_datasets", "run_caffeine_for_target",
+           "problems_for_targets", "session_for_targets",
            "shared_column_cache", "persistent_shared_cache",
            "DEFAULT_TRAIN_DX", "DEFAULT_TEST_DX", "DEFAULT_N_RUNS"]
 
@@ -163,12 +166,63 @@ def persistent_shared_cache(settings: Optional[CaffeineSettings] = None,
         store.save(cache)
 
 
+def problems_for_targets(datasets: OtaDatasets,
+                         targets: Optional[Sequence[str]] = None
+                         ) -> Tuple[Problem, ...]:
+    """The paper's sweep as :class:`Problem` objects, one per performance.
+
+    This is the bridge from the OTA substrate to the generic
+    Problem/Session API: each problem packages one performance's cleaned
+    train/test pair under the performance's name, ready for a
+    :class:`~repro.core.session.Session` (serial or ``jobs > 1``).
+    """
+    selected = (tuple(targets) if targets is not None
+                else datasets.performance_names)
+    problems = []
+    seen = set()
+    for target in selected:
+        if target in seen:
+            # Repeated CLI targets ("--targets PM PM") mean one run of PM,
+            # as the pre-Session drivers keyed results by name.
+            continue
+        seen.add(target)
+        train, test = datasets.for_target(target)
+        problems.append(Problem(train=train, test=test, name=target))
+    return tuple(problems)
+
+
+def session_for_targets(datasets: OtaDatasets,
+                        targets: Optional[Sequence[str]] = None,
+                        settings: Optional[CaffeineSettings] = None,
+                        column_cache_path: Optional[str] = None,
+                        jobs: int = 1,
+                        callbacks: Sequence[SessionCallback] = ()
+                        ) -> Session:
+    """A ready-to-run :class:`Session` over the selected OTA performances.
+
+    All experiment drivers build their sweeps through here: the six
+    performances evaluate on the same ``X``, so the session's shared
+    (fingerprinted, optionally persistent) column cache makes the column
+    side of a sweep roughly six times cheaper -- and ``jobs > 1`` runs
+    performances concurrently with identical results.
+    """
+    return Session(problems_for_targets(datasets, targets),
+                   settings=settings, jobs=jobs,
+                   column_cache_path=column_cache_path,
+                   callbacks=callbacks)
+
+
 def run_caffeine_for_target(datasets: OtaDatasets, target: str,
                             settings: Optional[CaffeineSettings] = None,
                             column_cache: Optional[BasisColumnCache] = None,
                             column_cache_path: Optional[str] = None
                             ) -> CaffeineResult:
     """Run CAFFEINE for one OTA performance with the paper's conventions.
+
+    .. deprecated:: 1.1
+        A compatibility shim over the Problem/Session API (bit-for-bit
+        identical; see :func:`problems_for_targets` /
+        :func:`session_for_targets` for the preferred multi-run form).
 
     ``column_cache`` (see :func:`shared_column_cache`) may be shared across
     the six performances, and ``column_cache_path`` persists columns across

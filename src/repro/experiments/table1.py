@@ -16,7 +16,7 @@ from repro.core.model import SymbolicModel
 from repro.core.report import format_percent
 from repro.core.settings import CaffeineSettings
 from repro.experiments.setup import OtaDatasets, generate_ota_datasets, \
-    persistent_shared_cache, run_caffeine_for_target
+    session_for_targets
 
 __all__ = ["Table1Row", "Table1Result", "run_table1"]
 
@@ -90,27 +90,32 @@ def run_table1(datasets: Optional[OtaDatasets] = None,
                targets: Optional[Sequence[str]] = None,
                error_target: float = DEFAULT_ERROR_TARGET,
                results: Optional[Mapping[str, CaffeineResult]] = None,
-               column_cache_path: Optional[str] = None) -> Table1Result:
+               column_cache_path: Optional[str] = None,
+               jobs: int = 1) -> Table1Result:
     """Regenerate Table I.
 
     ``results`` may carry pre-computed CAFFEINE runs (e.g. shared with the
-    Figure 3 driver) keyed by performance name; missing targets are run
-    here.  ``column_cache_path`` persists the sweep's shared column cache
-    on disk (see :func:`repro.experiments.setup.persistent_shared_cache`).
+    Figure 3 driver) keyed by performance name; only the missing targets
+    run here, as one :class:`~repro.core.session.Session` sweep
+    (``column_cache_path`` persists its shared column cache, ``jobs > 1``
+    runs targets concurrently -- see
+    :func:`repro.experiments.setup.session_for_targets`).
     """
     datasets = datasets if datasets is not None else generate_ota_datasets()
     settings = settings if settings is not None else CaffeineSettings()
     selected = tuple(targets) if targets is not None else datasets.performance_names
 
     all_results: Dict[str, CaffeineResult] = dict(results or {})
+    missing = tuple(t for t in selected if t not in all_results)
+    if missing:
+        outcome = session_for_targets(datasets, missing, settings,
+                                      column_cache_path=column_cache_path,
+                                      jobs=jobs).run()
+        all_results.update(outcome.items())
     rows = []
-    with persistent_shared_cache(settings, column_cache_path) as column_cache:
-        for target in selected:
-            if target not in all_results:
-                all_results[target] = run_caffeine_for_target(
-                    datasets, target, settings, column_cache=column_cache)
-            model = select_table1_model(all_results[target], error_target)
-            rows.append(Table1Row(target=target, error_target=error_target,
-                                  model=model))
+    for target in selected:
+        model = select_table1_model(all_results[target], error_target)
+        rows.append(Table1Row(target=target, error_target=error_target,
+                              model=model))
     return Table1Result(rows=tuple(rows), results=all_results,
                         error_target=error_target)

@@ -85,7 +85,9 @@ class TestRoundTrip:
         first = path.read_bytes()
         store.save(evaluator.cache)  # overwrite in place
         assert path.read_bytes() == first
-        assert [p for p in path.parent.iterdir()] == [path]  # no temp litter
+        # No temp litter -- only the data file and the advisory lock sidecar.
+        assert sorted(path.parent.iterdir()) == [
+            path, path.with_name(path.name + ".lock")]
 
     def test_save_merges_with_stored_entries(self, fast_settings, tmp_path):
         """A second run saving to a shared file never erases the first
@@ -257,3 +259,158 @@ class TestRunCaffeineIntegration:
         assert os.path.exists(path)
         with persistent_shared_cache(settings, path) as warm_cache:
             assert len(warm_cache) == n_entries
+
+
+# ----------------------------------------------------------------------
+# concurrent writers (the ROADMAP's last-writer-wins hazard)
+# ----------------------------------------------------------------------
+def _spawn_context():
+    import multiprocessing
+
+    # fork is fastest and needs no importability gymnastics; spawn works
+    # too (multiprocessing ships sys.path to the child).
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def _worker_keys(worker_id: int, n_entries: int):
+    return [((f"dataset-{worker_id}", ("fs",)), ("col", worker_id, index))
+            for index in range(n_entries)]
+
+
+def _concurrent_save_worker(path, worker_id, n_entries, barrier):
+    cache = BasisColumnCache(10000)
+    for index, key in enumerate(_worker_keys(worker_id, n_entries)):
+        cache.put(key, np.full(8, worker_id * 1000.0 + index))
+    barrier.wait(timeout=60)  # line both savers up on the same instant
+    ColumnCacheStore(path).save(cache)
+
+
+class TestConcurrentWriters:
+    def test_simultaneous_saves_lose_no_entries(self, tmp_path):
+        """Two processes saving the same store at once both persist.
+
+        Without the advisory lock this is the documented last-writer-wins
+        race: both read the same base file, and whichever ``os.replace``
+        lands second erases the other's namespace.  The lock serializes the
+        read-merge-write cycles, so the union must survive."""
+        path = str(tmp_path / "shared" / "cols.cache")
+        store = ColumnCacheStore(path)
+
+        # A pre-existing third namespace must also survive both writers.
+        seeded = BasisColumnCache(100)
+        seeded_key = (("dataset-seed", ("fs",)), ("col", "seed"))
+        seeded.put(seeded_key, np.zeros(8))
+        store.save(seeded)
+
+        ctx = _spawn_context()
+        n_entries = 20
+        barrier = ctx.Barrier(2)
+        workers = [
+            ctx.Process(target=_concurrent_save_worker,
+                        args=(path, worker_id, n_entries, barrier))
+            for worker_id in (1, 2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+        assert all(worker.exitcode == 0 for worker in workers)
+
+        merged = store.load(max_entries=10000)
+        stored_keys = {key for key, _column in merged.items()}
+        for worker_id in (1, 2):
+            missing = set(_worker_keys(worker_id, n_entries)) - stored_keys
+            assert not missing, (
+                f"writer {worker_id} lost {len(missing)} entries to the "
+                f"concurrent save")
+        assert seeded_key in stored_keys
+        # And the columns themselves round-tripped bit for bit.
+        by_key = dict(merged.items())
+        assert np.array_equal(by_key[("dataset-1", ("fs",)), ("col", 1, 3)],
+                              np.full(8, 1003.0))
+
+    def test_file_lock_is_reentrant_and_releases(self, tmp_path):
+        from repro.core.cache_store import FileLock
+
+        lock = FileLock(tmp_path / "x.lock", timeout=5.0)
+        with lock:
+            with lock:  # nested acquisition must not deadlock
+                assert lock.held
+            assert lock.held
+        assert not lock.held
+        # A second instance on the same path can acquire after release.
+        other = FileLock(tmp_path / "x.lock", timeout=0.5)
+        with other:
+            assert other.held
+
+    def test_one_shared_store_instance_is_thread_safe(self, tmp_path):
+        """Two threads saving through ONE store object still serialize.
+
+        flock cannot exclude within a process through one instance's
+        reentrancy counter alone; the FileLock's internal RLock must."""
+        import threading
+
+        path = str(tmp_path / "shared" / "cols.cache")
+        store = ColumnCacheStore(path)
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def writer(worker_id):
+            try:
+                cache = BasisColumnCache(10000)
+                for key in _worker_keys(worker_id, 20):
+                    cache.put(key, np.full(8, float(worker_id)))
+                barrier.wait(timeout=30)
+                store.save(cache)
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in (1, 2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        stored = {key for key, _column in store.load(10000).items()}
+        for worker_id in (1, 2):
+            assert not set(_worker_keys(worker_id, 20)) - stored
+
+    def test_file_lock_excludes_other_threads_on_one_instance(self,
+                                                              tmp_path):
+        import threading
+
+        from repro.core.cache_store import FileLock
+
+        lock = FileLock(tmp_path / "x.lock", timeout=0.3)
+        entered = []
+
+        def contender():
+            try:
+                lock.acquire()
+                entered.append(True)
+                lock.release()
+            except TimeoutError:
+                entered.append(False)
+
+        with lock:
+            thread = threading.Thread(target=contender)
+            thread.start()
+            thread.join(timeout=30)
+        assert entered == [False]  # blocked while the main thread held it
+        with lock:  # and usable again afterwards
+            assert lock.held
+
+    def test_file_lock_excludes_other_instances(self, tmp_path):
+        from repro.core.cache_store import FileLock
+
+        lock = FileLock(tmp_path / "x.lock", timeout=5.0)
+        contender = FileLock(tmp_path / "x.lock", timeout=0.2,
+                             poll_interval=0.02)
+        with lock:
+            with pytest.raises(TimeoutError):
+                contender.acquire()
+        with contender:  # released holder -> contender proceeds
+            assert contender.held

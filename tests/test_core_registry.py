@@ -1,0 +1,230 @@
+"""Backend registries: introspection, registration round trips, dispatch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run_caffeine
+from repro.core.evaluation import InterpColumnBackend
+from repro.core.pareto import PYTHON_PARETO_BACKEND
+from repro.core.registry import (
+    BACKEND_KINDS,
+    available_backends,
+    backend_names,
+    backend_registry,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.core.settings import CaffeineSettings
+from repro.data.dataset import Dataset
+
+
+def _train(seed: int = 0, n: int = 50) -> Dataset:
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.5, 2.0, size=(n, 3))
+    y = 3.0 + 2.0 * X[:, 0] / X[:, 1] + 0.5 * X[:, 2]
+    return Dataset(X, y, variable_names=("a", "b", "c"))
+
+
+def _front(result):
+    return [(m.train_error, m.complexity, m.expression())
+            for m in result.tradeoff]
+
+
+class TestIntrospection:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert set(names) == set(BACKEND_KINDS)
+        assert names["column"] == ("compiled", "interp")
+        assert names["fit"] == ("direct", "gram")
+        assert names["pareto"] == ("numpy", "python")
+        assert names["evaluation"] == ("process", "serial", "thread")
+
+    def test_registry_protocol(self):
+        registry = backend_registry("pareto")
+        assert "numpy" in registry
+        assert "nope" not in registry
+        assert len(registry) >= 2
+        assert list(iter(registry)) == list(registry.names())
+
+    def test_unknown_kind_and_name_errors(self):
+        with pytest.raises(KeyError, match="unknown backend kind"):
+            backend_registry("flux-capacitor")
+        with pytest.raises(KeyError, match="registered:"):
+            get_backend("pareto", "nope")
+        with pytest.raises(KeyError, match="no pareto backend"):
+            unregister_backend("pareto", "nope")
+
+    def test_settings_validation_lists_registered_names(self):
+        with pytest.raises(ValueError, match="pareto_backend must be one of"):
+            CaffeineSettings(pareto_backend="nope")
+        with pytest.raises(ValueError, match="column_backend must be one of"):
+            CaffeineSettings(column_backend="nope")
+        with pytest.raises(ValueError, match="fit_backend must be one of"):
+            CaffeineSettings(fit_backend="nope")
+        with pytest.raises(ValueError,
+                           match="evaluation_backend must be one of"):
+            CaffeineSettings(evaluation_backend="nope")
+
+
+class TestRegistration:
+    def test_duplicate_rejected_unless_replace(self):
+        registry = backend_registry("pareto")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("numpy", lambda: None)
+        # replace=True must restore the original afterwards -- grab it first.
+        original = registry.get("numpy")
+        registry.register("numpy", original, replace=True)
+        assert registry.get("numpy") is original
+
+    def test_invalid_names_and_factories(self):
+        registry = backend_registry("column")
+        with pytest.raises(ValueError, match="non-empty string"):
+            registry.register("", lambda X, s: None)
+        with pytest.raises(TypeError, match="callable"):
+            registry.register("broken", "not-a-factory")
+
+    def test_is_builtin_tracks_shadowing(self):
+        from repro.core.registry import is_builtin_backend
+
+        assert is_builtin_backend("pareto", "numpy")
+        assert not is_builtin_backend("pareto", "never-registered")
+        with pytest.raises(KeyError, match="unknown backend kind"):
+            is_builtin_backend("flux", "numpy")
+        # A replace=True shadow of a built-in name is NOT builtin anymore:
+        # a spawn-started worker would resolve the name differently.
+        registry = backend_registry("pareto")
+        original = registry.get("numpy")
+        registry.register("numpy", lambda: PYTHON_PARETO_BACKEND,
+                          replace=True)
+        try:
+            assert not is_builtin_backend("pareto", "numpy")
+        finally:
+            registry.register("numpy", original, replace=True)
+        assert is_builtin_backend("pareto", "numpy")
+
+    def test_process_executor_rejects_custom_column_backend_on_spawn(
+            self, monkeypatch):
+        import multiprocessing
+
+        from repro.core.registry import _process_executor_factory
+
+        monkeypatch.setattr(multiprocessing, "get_start_method",
+                            lambda allow_none=False: "spawn")
+        register_backend("column", "probe-column",
+                         lambda X, settings: None)
+        try:
+            with pytest.raises(ValueError, match="freshly imported registry"):
+                _process_executor_factory(2, np.zeros((3, 2)),
+                                          "probe-column")
+        finally:
+            unregister_backend("column", "probe-column")
+
+    def test_unregister_returns_factory(self):
+        sentinel = lambda: PYTHON_PARETO_BACKEND  # noqa: E731
+        register_backend("pareto", "temp-backend", sentinel)
+        assert "temp-backend" in backend_names("pareto")
+        assert unregister_backend("pareto", "temp-backend") is sentinel
+        assert "temp-backend" not in backend_names("pareto")
+
+
+class TestRoundTrip:
+    """Register a toy backend by name, run with it, unregister."""
+
+    def test_toy_pareto_backend_runs_and_matches(self):
+        calls = {"sorts": 0}
+
+        class CountingKernels:
+            def nondominated_indices(self, vectors):
+                return PYTHON_PARETO_BACKEND.nondominated_indices(vectors)
+
+            def fast_nondominated_sort(self, vectors):
+                calls["sorts"] += 1
+                return PYTHON_PARETO_BACKEND.fast_nondominated_sort(vectors)
+
+            def crowding_distances(self, vectors):
+                return PYTHON_PARETO_BACKEND.crowding_distances(vectors)
+
+        register_backend("pareto", "toy-counting", lambda: CountingKernels())
+        try:
+            settings = CaffeineSettings(population_size=16, n_generations=3,
+                                        random_seed=5,
+                                        pareto_backend="toy-counting")
+            train = _train()
+            toy = run_caffeine(train, settings=settings)
+            reference = run_caffeine(
+                train, settings=settings.copy(pareto_backend="numpy"))
+            assert calls["sorts"] > 0  # the engine really dispatched to it
+            assert _front(toy) == _front(reference)
+        finally:
+            unregister_backend("pareto", "toy-counting")
+        # Once unregistered, the name stops validating.
+        with pytest.raises(ValueError, match="pareto_backend must be one of"):
+            CaffeineSettings(pareto_backend="toy-counting")
+
+    def test_toy_column_backend_runs_and_matches(self):
+        built = []
+
+        def factory(X, settings):
+            backend = InterpColumnBackend(X, settings)
+            built.append(backend)
+            return backend
+
+        register_backend("column", "toy-interp", factory)
+        try:
+            settings = CaffeineSettings(population_size=16, n_generations=3,
+                                        random_seed=5,
+                                        column_backend="toy-interp")
+            train = _train()
+            toy = run_caffeine(train, settings=settings)
+            reference = run_caffeine(
+                train, settings=settings.copy(column_backend="compiled"))
+            assert built  # the evaluator built the registered backend
+            assert _front(toy) == _front(reference)
+        finally:
+            unregister_backend("column", "toy-interp")
+
+    def test_toy_serial_evaluation_backend(self):
+        """An evaluation factory returning None degrades to serial."""
+        register_backend("evaluation", "toy-serial",
+                         lambda workers, X, column_backend: None)
+        try:
+            settings = CaffeineSettings(population_size=16, n_generations=3,
+                                        random_seed=5,
+                                        evaluation_backend="toy-serial")
+            train = _train()
+            toy = run_caffeine(train, settings=settings)
+            reference = run_caffeine(
+                train, settings=settings.copy(evaluation_backend="serial"))
+            assert _front(toy) == _front(reference)
+        finally:
+            unregister_backend("evaluation", "toy-serial")
+
+
+class TestWorkerStartMethod:
+    def test_does_not_pin_the_default(self):
+        """Reading the method must not block a later set_start_method."""
+        import subprocess
+        import sys
+
+        probe = (
+            "import multiprocessing\n"
+            "from repro.core.registry import worker_start_method\n"
+            "m = worker_start_method()\n"
+            "assert m in multiprocessing.get_all_start_methods()\n"
+            "other = [x for x in multiprocessing.get_all_start_methods()"
+            " if x != m][0]\n"
+            "multiprocessing.set_start_method(other)  # must not raise\n"
+            "print('ok', m, other)\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=__import__("os").path.dirname(
+                __import__("os").path.dirname(__file__)),
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.startswith("ok")

@@ -1,0 +1,23 @@
+"""The advertised API cannot rot: doctest the package quickstart.
+
+The package docstring of :mod:`repro` *is* the documentation users see
+first; its examples run here (and in CI's examples-smoke job) so a
+refactor that breaks the quickstart breaks the build.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import repro
+
+
+def test_package_docstring_examples_run():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted > 0, "the quickstart lost its examples"
+    assert results.failed == 0
+
+
+def test_advertised_names_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ advertises missing {name}"
