@@ -14,7 +14,12 @@ flaky.  The script fails (exit 1) only on bit-for-bit *equivalence*
 violations -- a fresh report whose ``equivalence.verified`` flag is not
 true, or a missing/unreadable report, means a fast path no longer
 reproduces the reference results exactly, which is a correctness bug
-regardless of machine load.
+regardless of machine load.  For ``bench_evaluation.json`` specifically,
+the required equivalence keys (``REQUIRED_EQUIVALENCE_KEYS``) must also
+*exist* and hold -- the residual-backend and population-1000 verdicts
+cannot silently drop out of the report -- and the ``population_1000``
+scaling section is summarized in its own block so the n=1000 trajectory
+stays visible in every step summary.
 
 To refresh the baselines after an intentional change, run the benchmarks
 locally and copy the outputs over the committed files::
@@ -48,6 +53,24 @@ TRACKED_SUFFIXES = (
     "store_bytes",
     "store_entries",
 )
+
+#: Equivalence verdicts that must be present *and* true in a fresh
+#: bench_evaluation.json: "verified" aggregates whatever keys the report
+#: happens to contain, so a section silently dropping out of the benchmark
+#: would otherwise pass the gate unnoticed.
+REQUIRED_EQUIVALENCE_KEYS = {
+    "bench_evaluation.json": (
+        "residual_scalar_vs_batched",
+        "population_1000_scalar_vs_batched",
+    ),
+}
+
+#: Sections surfaced as their own summary block (key prefix on the
+#: flattened metrics), so headline scaling numbers are readable without
+#: scanning the full table.
+HIGHLIGHT_SECTIONS = {
+    "bench_evaluation.json": ("population_1000",),
+}
 
 
 def flatten(document, prefix=""):
@@ -101,10 +124,39 @@ def compare_pair(baseline_path: Path, fresh_path: Path):
     if fresh is None:
         lines.append(f"**missing or unreadable fresh report** at `{fresh_path}`")
         return lines, None
-    verified = bool(fresh.get("equivalence", {}).get("verified", False))
+    equivalence = fresh.get("equivalence", {})
+    verified = bool(equivalence.get("verified", False))
+    missing_required = [
+        key
+        for key in REQUIRED_EQUIVALENCE_KEYS.get(fresh_path.name, ())
+        if equivalence.get(key) is not True
+    ]
+    if missing_required:
+        verified = False
+        lines.append(
+            "required equivalence keys missing or false: "
+            + ", ".join(f"`{key}`" for key in missing_required)
+        )
     state = "verified" if verified else "**VIOLATED**"
     lines.append(f"bit-for-bit equivalence: {state}")
     lines.append("")
+
+    for section in HIGHLIGHT_SECTIONS.get(fresh_path.name, ()):
+        body = fresh.get(section)
+        if not isinstance(body, dict):
+            lines.append(
+                f"**missing `{section}` section** -- the scaling numbers "
+                "dropped out of the report"
+            )
+            lines.append("")
+            continue
+        highlights = ", ".join(
+            f"{key}={format_value(value)}"
+            for key, value in body.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        )
+        lines.append(f"**`{section}`**: {highlights}")
+        lines.append("")
 
     baseline = load_report(baseline_path)
     if baseline is None:

@@ -80,6 +80,7 @@ from repro.core.expression import (
     ProductTerm,
     UnaryOpTerm,
     WeightedSum,
+    structural_key,
 )
 from repro.core.individual import _MAGNITUDE_LIMIT, evaluate_basis_column
 from repro.core.weights import Weight
@@ -88,6 +89,7 @@ __all__ = [
     "CompilationError",
     "CompiledKernel",
     "TreeCompiler",
+    "canonicalize_factors",
     "compile_basis_function",
     "skeleton_and_params",
 ]
@@ -161,6 +163,67 @@ class CompiledKernel:
         with np.errstate(all="ignore"):
             values = np.asarray(self.evaluate_raw(params), dtype=float)
             return np.where(np.abs(values) > _MAGNITUDE_LIMIT, np.nan, values)
+
+
+# ----------------------------------------------------------------------
+# canonical factor order
+# ----------------------------------------------------------------------
+def _comparable(key) -> Tuple:
+    """A totally ordered proxy for a structural key.
+
+    Structural keys mix strings, ints, floats, ``None`` and nested tuples,
+    which Python refuses to compare across types; tagging every scalar with
+    a type rank makes any two proxies comparable while preserving the
+    original order within each type.
+    """
+    if isinstance(key, tuple):
+        return (3, tuple(_comparable(part) for part in key))
+    if key is None:
+        return (0, 0.0)
+    if isinstance(key, str):
+        return (1, key)
+    return (2, float(key))
+
+
+def canonicalize_factors(node) -> None:
+    """Sort every product term's commutative factor list, in place.
+
+    A :class:`~repro.core.expression.ProductTerm` multiplies its operator
+    factors left to right, and float multiplication is commutative but not
+    associative -- two trees whose factors differ only in order evaluate to
+    (last-ulp) different columns and therefore hash to different structural
+    keys and compile to different kernels.  Sorting the factor lists into
+    one canonical order (by a type-tagged total order over their structural
+    keys) at **tree-construction time** merges those variants: the
+    generator and the variation operators emit only canonical trees, so the
+    interpreter, the compiler, the column cache and the kernel cache all
+    agree on one representative per commutative class -- which is what
+    lifts the compiled backend's kernel hit rate without touching the
+    bit-for-bit compiled == interpreted guarantee (both always see the same,
+    already-canonical tree).
+
+    Subtrees whose structural key cannot be computed (exotic node types)
+    keep their original order; everything else in the tree is still
+    normalized.  Mutating an *evaluated* tree would invalidate cached
+    columns, which is why this runs where trees are born, not where they
+    are scored.
+
+    The walk is **post-order** -- descendants are canonicalized before
+    their parent's factor list is sorted -- because a parent's sort keys
+    embed the (structural keys of the) nested subtrees: sorting outer
+    factors against not-yet-canonical inner orderings would let nested
+    order-variants keep distinct outer orders, and would make the
+    normalization non-idempotent.
+    """
+    children = getattr(node, "children", None)
+    if children is not None:
+        for child in children():
+            canonicalize_factors(child)
+    if type(node) is ProductTerm and len(node.ops) > 1:
+        try:
+            node.ops.sort(key=lambda op: _comparable(structural_key(op)))
+        except TypeError:
+            pass
 
 
 # ----------------------------------------------------------------------

@@ -31,7 +31,7 @@ import numpy as np
 from repro.core.evaluation import BasisColumnCache, PopulationEvaluator
 from repro.core.generator import ExpressionGenerator
 from repro.core.individual import Individual
-from repro.core.model import SymbolicModel, TradeoffSet
+from repro.core.model import SymbolicModel, TradeoffSet, batch_test_errors
 from repro.core.nsga2 import binary_tournament, environmental_selection, rank_population
 from repro.core.operators import VariationOperators
 from repro.core.pareto import nondominated_filter
@@ -218,19 +218,26 @@ class CaffeineEngine:
         )
 
     def _freeze_models(self, front: Sequence[Individual]) -> List[SymbolicModel]:
-        X_test = self.test.X if self.test is not None else None
-        y_test = self.test.y if self.test is not None else None
+        feasible = [ind for ind in front if ind.is_feasible]
+        # Test-set scoring runs through the same residual engine as
+        # training: unique basis columns are evaluated once on X_test across
+        # the whole front and same-width groups score in stacked passes
+        # (bit-for-bit the per-model scalar path; see batch_test_errors).
+        test_errors: Optional[List[float]] = None
+        if self.test is not None and feasible:
+            test_errors = batch_test_errors(
+                feasible, self.test.X, self.test.y,
+                self.evaluator.normalization,
+                backend=self.settings.residual_backend)
         models = []
-        for individual in front:
-            if not individual.is_feasible:
-                continue
+        for index, individual in enumerate(feasible):
             models.append(SymbolicModel.from_individual(
                 individual,
                 target_name=self.train.target_name,
                 variable_names=self.train.variable_names,
-                X_test=X_test,
-                y_test=y_test,
                 log_scaled_target=self.train.log_scaled,
+                test_error=(test_errors[index] if test_errors is not None
+                            else None),
             ))
         return models
 

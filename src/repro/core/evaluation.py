@@ -68,12 +68,18 @@ from repro.core.individual import (
 )
 from repro.core.registry import get_backend
 from repro.core.settings import CaffeineSettings
-from repro.data.metrics import error_normalization, relative_rmse
+from repro.data.metrics import (
+    error_normalization,
+    relative_rmse,
+    relative_rmse_rows,
+)
 from repro.regression.least_squares import (
+    LinearFit,
     fit_linear,
     fit_linear_from_gram,
     fit_linear_from_gram_batch,
     pair_dots,
+    predict_linear_batch,
 )
 
 __all__ = [
@@ -85,6 +91,8 @@ __all__ = [
     "CompiledColumnBackend",
     "DirectFitBackend",
     "GramFitBackend",
+    "ScalarResidualBackend",
+    "BatchedResidualBackend",
     "dataset_fingerprint",
     "evaluate_individual_inplace",
 ]
@@ -487,7 +495,12 @@ class CompiledColumnBackend:
 
     def __init__(self, X: np.ndarray,
                  settings: Optional[CaffeineSettings] = None) -> None:
-        self.compiler = TreeCompiler(X)
+        # The kernel budget adapts to population_size (worker processes,
+        # which get settings=None, keep the class default).
+        self.compiler = TreeCompiler(
+            X, max_kernels=(settings.resolved_kernel_cache_size()
+                            if settings is not None
+                            else CaffeineSettings.kernel_cache_size))
 
     def basis_key(self, basis: ProductTerm) -> Tuple:
         return skeleton_and_params(basis)
@@ -498,6 +511,85 @@ class CompiledColumnBackend:
 
     def column(self, basis: ProductTerm) -> np.ndarray:
         return self.compiler.column(basis)
+
+
+class ScalarResidualBackend:
+    """Reference residual backend: one prediction/residual pass per fit.
+
+    This is the ``"scalar"`` entry of the ``"residual"`` backend registry.
+    A residual backend's contract: ``error(fit, basis_matrix)`` returns the
+    individual's ``relative_rmse`` against the bound target, and
+    ``errors(fits, basis_matrices)`` scores a *same-width* group (every fit
+    has the same number of terms).  Both built-ins compute predictions by
+    the canonical left-to-right accumulation
+    (:func:`~repro.regression.least_squares.predict_linear`), so scalar and
+    batched scoring are bit-for-bit identical by construction.
+    """
+
+    name = "scalar"
+
+    def __init__(self, y: np.ndarray, normalization: float) -> None:
+        self.y = np.ascontiguousarray(np.asarray(y, dtype=float).ravel())
+        self.normalization = float(normalization)
+
+    def error(self, fit: LinearFit, basis_matrix: np.ndarray) -> float:
+        """One individual's relative RMS error (the paper's qwc/qtc shape)."""
+        return relative_rmse(self.y, fit.predict(basis_matrix),
+                             self.normalization)
+
+    def errors(self, fits: Sequence[LinearFit],
+               basis_matrices: Sequence[np.ndarray]) -> List[float]:
+        """A same-width group, scored one individual at a time."""
+        return [self.error(fit, basis_matrix)
+                for fit, basis_matrix in zip(fits, basis_matrices)]
+
+
+class BatchedResidualBackend:
+    """Generation-batched residual backend (``"batched"``, the default).
+
+    Whole same-width groups are scored in one stacked pass: predictions via
+    :func:`~repro.regression.least_squares.predict_linear_batch` (the
+    canonical accumulation run over an ``(m, n, k)`` stack -- purely
+    elementwise, so batch composition cannot change a bit) and residual
+    reduction via :func:`~repro.data.metrics.relative_rmse_rows` (a
+    contiguous-last-axis pairwise summation whose per-row results are
+    independent of the stack, the ``pair_dots`` argument transplanted to
+    the prediction side).  ``error``/``errors`` here are bit-for-bit
+    :class:`ScalarResidualBackend`'s, enforced by hypothesis property tests
+    and fixed-seed engine equality.
+    """
+
+    name = "batched"
+
+    def __init__(self, y: np.ndarray, normalization: float) -> None:
+        self.y = np.ascontiguousarray(np.asarray(y, dtype=float).ravel())
+        self.normalization = float(normalization)
+        #: stacked-pass accounting (benchmarks read these)
+        self.n_batched_passes = 0
+        self.n_batched_fits = 0
+
+    def error(self, fit: LinearFit, basis_matrix: np.ndarray) -> float:
+        """One individual: no batch to exploit, same canonical recipe."""
+        return relative_rmse(self.y, fit.predict(basis_matrix),
+                             self.normalization)
+
+    def errors(self, fits: Sequence[LinearFit],
+               basis_matrices: Sequence[np.ndarray]) -> List[float]:
+        """One stacked prediction/residual pass over a same-width group."""
+        if not fits:
+            return []
+        if len(fits) == 1:
+            return [self.error(fits[0], basis_matrices[0])]
+        intercepts = np.array([fit.intercept for fit in fits])
+        coefficient_rows = np.stack([fit.coefficients for fit in fits])
+        stacked = np.stack([np.asarray(m, dtype=float)
+                            for m in basis_matrices])
+        predictions = predict_linear_batch(intercepts, coefficient_rows,
+                                           stacked)
+        self.n_batched_passes += 1
+        self.n_batched_fits += len(fits)
+        return [float(value) for value in
+                relative_rmse_rows(self.y, predictions, self.normalization)]
 
 
 #: per-process column backend, installed once per worker by
@@ -546,8 +638,11 @@ class PopulationEvaluator:
         if self.X.shape[0] != self.y.shape[0]:
             raise ValueError("X and y disagree on the number of samples")
         self.settings = settings if settings is not None else CaffeineSettings()
+        # The default budget adapts to population_size (see
+        # CaffeineSettings.resolved_basis_cache_size); explicit sizes and
+        # externally shared caches are honored exactly.
         self.cache = cache if cache is not None \
-            else BasisColumnCache(self.settings.basis_cache_size)
+            else BasisColumnCache(self.settings.resolved_basis_cache_size())
         self.normalization = error_normalization(self.y)
         self._backend = self.settings.evaluation_backend
         #: miss-path column computation, resolved through the ``"column"``
@@ -569,6 +664,13 @@ class PopulationEvaluator:
         self.dataset_key = (dataset_fingerprint(self.X),
                             function_set_fingerprint(
                                 self.settings.function_set))
+        #: how the post-fit prediction/residual step runs, resolved through
+        #: the ``"residual"`` registry: one stacked pass per basis width and
+        #: generation (``"batched"``, the default) or per individual
+        #: (``"scalar"``) -- bit-for-bit identical either way.
+        self._residual_backend = get_backend(
+            "residual", self.settings.residual_backend)(
+                self.y, self.normalization)
         #: how fits are produced, resolved through the ``"fit"`` registry:
         #: gram-pool gather-and-solve (``"gram"``, the default; a zero pool
         #: size degrades to direct) or per-individual ``fit_linear``
@@ -613,6 +715,11 @@ class PopulationEvaluator:
     def gram_pool(self) -> Optional["GramPool"]:
         """The fit backend's scalar pool (None when fits are direct)."""
         return getattr(self._fit_backend, "pool", None)
+
+    @property
+    def residual_backend(self):
+        """The configured residual backend (introspection/benchmarks)."""
+        return self._residual_backend
 
     @property
     def column_hit_rate(self) -> float:
@@ -935,8 +1042,11 @@ class GramFitBackend:
 
     def __init__(self, evaluator: PopulationEvaluator) -> None:
         self.evaluator = evaluator
-        #: the cross-generation scalar pool (``evaluator.gram_pool``)
-        self.pool = GramPool(evaluator.y, evaluator.settings.gram_pool_size)
+        #: the cross-generation scalar pool (``evaluator.gram_pool``); the
+        #: default budget adapts to population_size so large-population runs
+        #: do not evict a generation's pairs before the next can reuse them
+        self.pool = GramPool(evaluator.y,
+                             evaluator.settings.resolved_gram_pool_size())
         self._y_sum = float(evaluator.y.sum())
         self._y_finite = bool(np.isfinite(evaluator.y).all())
 
@@ -994,9 +1104,7 @@ class GramFitBackend:
             individual.error = float("inf")
             return individual
         individual.fit = fit
-        predictions = fit.predict(basis_matrix)
-        individual.error = relative_rmse(ev.y, predictions,
-                                         individual.normalization)
+        individual.error = ev._residual_backend.error(fit, basis_matrix)
         return individual
 
     # ------------------------------------------------------------------
@@ -1068,12 +1176,26 @@ class GramFitBackend:
             fits = fit_linear_from_gram_batch(grams, colsums, ydots,
                                               self._y_sum, solvable_matrices,
                                               ev.y)
+            # The group's prediction/residual step runs through the
+            # configured residual backend: "batched" scores the whole
+            # same-width group in one stacked pass, "scalar" one fit at a
+            # time -- identical bits either way (the canonical recipes are
+            # batch-shape independent).
+            scored_positions = []
+            scored_fits: List[LinearFit] = []
+            scored_matrices = []
             for position, fit, basis_matrix in zip(solvable, fits,
                                                    solvable_matrices):
-                batch_key = items[position][0]
                 if fit is None:
-                    ev._batch_fit_results[batch_key] = (None, float("inf"))
+                    ev._batch_fit_results[items[position][0]] = \
+                        (None, float("inf"))
                     continue
-                predictions = fit.predict(basis_matrix)
-                error = relative_rmse(ev.y, predictions, ev.normalization)
-                ev._batch_fit_results[batch_key] = (fit, error)
+                scored_positions.append(position)
+                scored_fits.append(fit)
+                scored_matrices.append(basis_matrix)
+            if not scored_fits:
+                continue
+            errors = ev._residual_backend.errors(scored_fits, scored_matrices)
+            for position, fit, error in zip(scored_positions, scored_fits,
+                                            errors):
+                ev._batch_fit_results[items[position][0]] = (fit, error)

@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.compile import canonicalize_factors
 from repro.core.expression import (
     BinaryOpTerm,
     ConditionalOpTerm,
@@ -145,8 +146,13 @@ class ExpressionGenerator:
                 ops.append(self.random_op_term(depth_budget - 1))
             else:
                 use_vc = True
-        return ProductTerm(vc=self.random_variable_combo() if use_vc else None,
+        term = ProductTerm(vc=self.random_variable_combo() if use_vc else None,
                            ops=ops)
+        # Fresh trees are born canonical: commutative factor lists are
+        # sorted so order-variants of one product share a structural key
+        # and a compiled kernel (see repro.core.compile.canonicalize_factors).
+        canonicalize_factors(term)
+        return term
 
     # ------------------------------------------------------------------
     def random_basis_functions(self, n_bases: Optional[int] = None

@@ -15,13 +15,73 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.expression import ProductTerm
-from repro.core.individual import Individual, evaluate_basis_matrix
+from repro.core.expression import ProductTerm, structural_key
+from repro.core.individual import (
+    Individual,
+    evaluate_basis_column,
+    evaluate_basis_matrix,
+)
 from repro.core.pareto import nondominated_filter
+from repro.core.registry import get_backend
 from repro.data.metrics import q_tc
 from repro.regression.least_squares import LinearFit
 
-__all__ = ["SymbolicModel", "TradeoffSet"]
+__all__ = ["SymbolicModel", "TradeoffSet", "batch_test_errors"]
+
+
+def batch_test_errors(individuals: Sequence, X: np.ndarray,
+                      y: np.ndarray, normalization: float,
+                      backend: str = "batched") -> List[float]:
+    """Per-individual ``qtc`` on ``(X, y)``, scored generation-style.
+
+    ``individuals`` may be :class:`Individual` or :class:`SymbolicModel`
+    instances -- anything carrying ``fit`` and ``bases``.
+
+    This is the test-error analogue of the evaluator's residual engine:
+    unique basis columns are evaluated once across all individuals (front
+    models share basis functions heavily), matrices are assembled from the
+    shared columns, and same-width groups are scored through the configured
+    ``"residual"`` backend -- one stacked prediction/residual pass per width
+    under ``"batched"``.  Every returned value is bit-for-bit what the
+    scalar path (``q_tc(y, individual.predict(X), normalization)``) returns:
+    columns come from the same :func:`evaluate_basis_column`, predictions
+    from the same canonical accumulation, and the row-stacked residual
+    reduction is batch-shape independent.
+
+    All individuals must carry a successful fit; ``normalization`` is the
+    *training*-data range shared by the individuals (the paper's qtc
+    denominator).
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    residual = get_backend("residual", backend)(y, normalization)
+    columns: dict = {}
+    matrices: List[np.ndarray] = []
+    for individual in individuals:
+        if individual.fit is None:
+            raise ValueError(
+                "batch_test_errors requires successfully fitted individuals")
+        assembled = []
+        for basis in individual.bases:
+            key = structural_key(basis)
+            column = columns.get(key)
+            if column is None:
+                column = evaluate_basis_column(basis, X)
+                columns[key] = column
+            assembled.append(column)
+        matrices.append(np.column_stack(assembled) if assembled
+                        else np.zeros((X.shape[0], 0)))
+    groups: dict = {}
+    for index, individual in enumerate(individuals):
+        groups.setdefault(individual.fit.n_terms, []).append(index)
+    errors: List[float] = [float("nan")] * len(matrices)
+    for indices in groups.values():
+        group_errors = residual.errors(
+            [individuals[i].fit for i in indices],
+            [matrices[i] for i in indices])
+        for i, value in zip(indices, group_errors):
+            errors[i] = float(value)
+    return errors
 
 
 @dataclasses.dataclass(frozen=True)
@@ -52,18 +112,27 @@ class SymbolicModel:
                         variable_names: Sequence[str],
                         X_test: Optional[np.ndarray] = None,
                         y_test: Optional[np.ndarray] = None,
-                        log_scaled_target: bool = False) -> "SymbolicModel":
-        """Freeze an evaluated individual into a result model."""
+                        log_scaled_target: bool = False,
+                        test_error: Optional[float] = None) -> "SymbolicModel":
+        """Freeze an evaluated individual into a result model.
+
+        ``test_error`` lets callers that scored a whole front in one batched
+        pass (:func:`batch_test_errors`, as the engine does) hand the value
+        in instead of re-predicting per model; it must then be the same
+        quantity the scalar path below computes (bit-for-bit, when produced
+        by the residual engine).
+        """
         if individual.fit is None:
             raise ValueError("individual must have a successful linear fit")
-        test_error = float("nan")
-        if X_test is not None and y_test is not None:
-            predictions = individual.predict(np.asarray(X_test, dtype=float))
-            # The paper's qtc: the testing error is normalized by the
-            # *training*-data range (individual.normalization), the same
-            # reference as the training error, never the testing range.
-            test_error = q_tc(np.asarray(y_test, dtype=float), predictions,
-                              individual.normalization)
+        if test_error is None:
+            test_error = float("nan")
+            if X_test is not None and y_test is not None:
+                predictions = individual.predict(np.asarray(X_test, dtype=float))
+                # The paper's qtc: the testing error is normalized by the
+                # *training*-data range (individual.normalization), the same
+                # reference as the training error, never the testing range.
+                test_error = q_tc(np.asarray(y_test, dtype=float), predictions,
+                                  individual.normalization)
         return cls(
             target_name=target_name,
             variable_names=tuple(variable_names),

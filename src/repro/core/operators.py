@@ -37,6 +37,7 @@ from repro.core.expression import (
     iter_variable_combos,
     iter_weights,
 )
+from repro.core.compile import canonicalize_factors
 from repro.core.generator import ExpressionGenerator
 from repro.core.individual import Individual
 from repro.core.settings import CaffeineSettings
@@ -144,6 +145,13 @@ class VariationOperators:
         if child is None:
             child = self.parameter_mutation(parent_a)
         child = self._enforce_limits(child)
+        # Offspring leave variation canonical: crossover and mutation can
+        # reorder or recombine commutative product factors, and sorting them
+        # back into canonical order (on the freshly cloned, not-yet-evaluated
+        # trees) is what lets order-variants share cached columns and
+        # compiled kernels.  Parents are never touched.
+        for basis in child.bases:
+            canonicalize_factors(basis)
         return child
 
     def operator_names(self) -> Tuple[str, ...]:

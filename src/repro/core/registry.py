@@ -58,6 +58,17 @@ Factory contracts by kind (what ``factory(...)`` must accept and return):
     calling thread.  ``column_backend`` is the configured column-backend
     *name* so process-pool workers can rebuild their per-process state.
 
+``"residual"``
+    ``factory(y, normalization) -> backend`` where ``backend`` exposes
+    ``error(fit, basis_matrix) -> float`` (one individual's
+    ``relative_rmse`` against ``y``) and ``errors(fits, basis_matrices) ->
+    list[float]`` (a same-width group of individuals, scored together).
+    Both built-ins -- ``"scalar"`` (per-individual reference) and
+    ``"batched"`` (default; one stacked prediction/residual pass per basis
+    width) -- are bit-for-bit identical by the canonical-accumulation
+    argument in :mod:`repro.regression.least_squares`; a registered backend
+    that cannot reproduce them exactly must say so in its docs.
+
 The built-in names are registered at import time with lazily-importing
 factories, so the registries are fully populated as soon as this module
 loads (settings validation may run before the heavyweight modules import).
@@ -112,7 +123,7 @@ def worker_start_method() -> str:
     return method
 
 #: The backend kinds the engine dispatches on (one registry per kind).
-BACKEND_KINDS = ("column", "fit", "pareto", "evaluation")
+BACKEND_KINDS = ("column", "fit", "pareto", "evaluation", "residual")
 
 
 class BackendRegistry:
@@ -304,6 +315,18 @@ def _process_executor_factory(workers, X, column_backend):
         initargs=(X, column_backend))
 
 
+def _scalar_residual_factory(y, normalization):
+    from repro.core.evaluation import ScalarResidualBackend
+
+    return ScalarResidualBackend(y, normalization)
+
+
+def _batched_residual_factory(y, normalization):
+    from repro.core.evaluation import BatchedResidualBackend
+
+    return BatchedResidualBackend(y, normalization)
+
+
 _REGISTRIES["column"].register("interp", _interp_column_factory)
 _REGISTRIES["column"].register("compiled", _compiled_column_factory)
 _REGISTRIES["fit"].register("direct", _direct_fit_factory)
@@ -313,6 +336,8 @@ _REGISTRIES["pareto"].register("python", _python_pareto_factory)
 _REGISTRIES["evaluation"].register("serial", _serial_executor_factory)
 _REGISTRIES["evaluation"].register("thread", _thread_executor_factory)
 _REGISTRIES["evaluation"].register("process", _process_executor_factory)
+_REGISTRIES["residual"].register("scalar", _scalar_residual_factory)
+_REGISTRIES["residual"].register("batched", _batched_residual_factory)
 
 #: the factories this module registered itself -- the only bindings a
 #: ``spawn``-started worker process is guaranteed to reproduce (see the

@@ -13,17 +13,19 @@ These helpers produce plain-text renderings:
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.core.model import SymbolicModel, TradeoffSet
+from repro.core.model import SymbolicModel, TradeoffSet, batch_test_errors
 
 __all__ = [
     "tradeoff_table",
     "models_table",
     "target_summary_row",
     "comparison_table",
+    "rescore_models",
+    "rescore_table",
     "format_percent",
 ]
 
@@ -77,6 +79,55 @@ def target_summary_row(model: SymbolicModel,
         expression = expression[: max_expression_length - 3] + "..."
     return (f"{model.target_name:>8}  train {format_percent(model.train_error):>6}%  "
             f"test {format_percent(model.test_error):>6}%  {expression}")
+
+
+def rescore_models(models: Sequence[SymbolicModel], X: np.ndarray,
+                   y: np.ndarray, backend: str = "batched") -> List[float]:
+    """Relative RMS errors of frozen models on a fresh dataset, batch-scored.
+
+    Each model is scored against ``(X, y)`` normalized by its own stored
+    training range (the paper's qtc convention), through the generation-
+    batched residual engine: unique basis columns evaluate once across all
+    models and same-width groups score in one stacked pass -- bit-for-bit
+    the value ``q_tc(y, model.predict_transformed(X), model.normalization)``
+    computes per model.  Models are grouped by normalization so mixed-target
+    trade-offs score correctly.
+    """
+    errors: List[float] = [float("nan")] * len(models)
+    by_normalization: dict = {}
+    for index, model in enumerate(models):
+        by_normalization.setdefault(float(model.normalization),
+                                    []).append(index)
+    for normalization, indices in by_normalization.items():
+        scored = batch_test_errors([models[i] for i in indices], X, y,
+                                   normalization, backend=backend)
+        for i, value in zip(indices, scored):
+            errors[i] = value
+    return errors
+
+
+def rescore_table(tradeoff: TradeoffSet, X: np.ndarray, y: np.ndarray,
+                  title: str = "", backend: str = "batched") -> str:
+    """Scenario table: every trade-off model re-scored on a new dataset.
+
+    Answers "how do the models I already have do on this fresh data?"
+    without rerunning anything: one batched scoring pass
+    (:func:`rescore_models`) per call, rendered next to the stored training
+    and testing errors.
+    """
+    models = list(tradeoff)
+    fresh = rescore_models(models, X, y, backend=backend)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'complexity':>12} {'train err %':>12} {'test err %':>12} "
+                 f"{'fresh err %':>12}")
+    for model, error in zip(models, fresh):
+        lines.append(
+            f"{model.complexity:12.2f} {format_percent(model.train_error):>12} "
+            f"{format_percent(model.test_error):>12} "
+            f"{format_percent(error):>12}")
+    return "\n".join(lines)
 
 
 def comparison_table(rows: Sequence[Mapping[str, float]],

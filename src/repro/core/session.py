@@ -263,7 +263,8 @@ class Session:
         # sharing entirely below (their engines build their own disabled
         # caches, which also keeps their fit caches off).
         cache_sizes = [problem.effective_settings(self.settings)
-                       .basis_cache_size for problem in self.problems]
+                       .resolved_basis_cache_size()
+                       for problem in self.problems]
         cache = (self.column_cache if self.column_cache is not None
                  else BasisColumnCache(max(cache_sizes)))
         store = (ColumnCacheStore(self.column_cache_path)
@@ -377,7 +378,7 @@ class Session:
 def _run_problem_task(problem: Problem, settings: CaffeineSettings,
                       column_cache_path: Optional[str]) -> CaffeineResult:
     """One worker's whole job: warm-load, run, merge-save (picklable)."""
-    cache = BasisColumnCache(settings.basis_cache_size)
+    cache = BasisColumnCache(settings.resolved_basis_cache_size())
     store = (ColumnCacheStore(column_cache_path)
              if column_cache_path is not None else None)
     engine = CaffeineEngine(problem.train, test=problem.test,

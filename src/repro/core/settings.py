@@ -114,6 +114,12 @@ class CaffeineSettings:
     #: it turns off fit-result reuse as well, not just column memory.  Even
     #: then, one batch evaluation still computes its duplicate columns only
     #: once (batch-local sharing) and still uses the parallel backend.
+    #: Leaving the class default in place makes the budget *size-adaptive*:
+    #: it grows with ``population_size`` via
+    #: :meth:`resolved_basis_cache_size`, so ``population_size >= 1000``
+    #: runs do not churn a budget tuned for population 100.  Any other
+    #: value (including 0) is honored exactly; to pin a hard cap that
+    #: happens to equal the default, set ``adaptive_cache_budgets=False``.
     basis_cache_size: int = 20000
     #: how the linear weights are fitted: ``"gram"`` (default) batches the
     #: generation's normal-equation scalars through the
@@ -124,13 +130,40 @@ class CaffeineSettings:
     fit_backend: str = "gram"
     #: maximum number of pairwise column dot products retained by the gram
     #: pool (each entry is one float; column-level stats are bounded by the
-    #: same number).  0 disables the pool, which implies direct fits.
+    #: same number).  0 disables the pool, which implies direct fits.  Like
+    #: ``basis_cache_size``, the class default is a size-adaptive floor
+    #: (see :meth:`resolved_gram_pool_size`); explicit values are honored.
     gram_pool_size: int = 200000
     #: Pareto/NSGA-II kernels: ``"numpy"`` (default) uses the vectorized
     #: broadcasting implementations in :mod:`repro.core.pareto`; ``"python"``
     #: the pure-Python reference.  Identical results (fronts are
     #: canonicalized to ascending index order in both), different speed.
     pareto_backend: str = "numpy"
+    #: how the prediction/residual step after each linear fit is computed:
+    #: ``"batched"`` (default) runs one stacked left-to-right accumulation
+    #: plus one row-stacked pairwise residual reduction per basis width and
+    #: generation (:func:`repro.regression.least_squares.predict_linear_batch`
+    #: + :func:`repro.data.metrics.relative_rmse_rows`); ``"scalar"`` scores
+    #: each individual on its own.  Both are bit-for-bit identical (the
+    #: canonical recipes are batch-shape independent by construction,
+    #: enforced by property tests), so this knob only trades Python/NumPy
+    #: call overhead for memory.
+    residual_backend: str = "batched"
+    #: maximum number of compiled tapes the ``"compiled"`` column backend
+    #: retains, keyed by weight-free tree skeleton.  The class default is a
+    #: size-adaptive floor (:meth:`resolved_kernel_cache_size`) so large
+    #: populations do not thrash the kernel LRU; explicit values are
+    #: honored, and 0 compiles fresh on every miss.
+    kernel_cache_size: int = 4096
+    #: when True (default), a cache budget left at its class default
+    #: (``basis_cache_size``/``gram_pool_size``/``kernel_cache_size``) is
+    #: treated as an adaptive *floor* that grows with ``population_size``
+    #: (see the ``resolved_*`` accessors).  A dataclass cannot tell an
+    #: untouched default from the same number typed deliberately, so this
+    #: flag is the explicit escape hatch: set it to False to pin every
+    #: budget to exactly its configured value, including values that equal
+    #: the defaults.
+    adaptive_cache_budgets: bool = True
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -182,6 +215,9 @@ class CaffeineSettings:
         if self.gram_pool_size < 0:
             raise ValueError("gram_pool_size must be non-negative")
         self._validate_backend("pareto", self.pareto_backend)
+        self._validate_backend("residual", self.residual_backend)
+        if self.kernel_cache_size < 0:
+            raise ValueError("kernel_cache_size must be non-negative")
 
     @staticmethod
     def _validate_backend(kind: str, name: str) -> None:
@@ -189,6 +225,58 @@ class CaffeineSettings:
         if name not in registered:
             raise ValueError(
                 f"{kind}_backend must be one of {registered}, got {name!r}")
+
+    # ------------------------------------------------------------------
+    # size-adaptive cache budgets
+    #
+    # The class defaults of the three LRU budgets below were tuned for the
+    # paper-scale population of 100-200.  At population >= 1000 every
+    # generation produces ~10x the unique columns, fits, skeletons and gram
+    # pairs, and a fixed budget turns into pure churn: entries are evicted
+    # before the next generation can reuse them (the profiling cliff the
+    # ROADMAP predicted).  Each ``resolved_*`` accessor therefore treats a
+    # budget *equal to its class default* as an adaptive floor that scales
+    # with ``population_size`` (and the per-individual term counts); any
+    # other value -- including 0 -- is returned verbatim.  A dataclass
+    # cannot distinguish an untouched default from the same number typed
+    # deliberately, so a caller who really wants a hard cap that happens to
+    # equal a default sets ``adaptive_cache_budgets=False`` (which pins
+    # every budget exactly).  Budgets only ever affect wall-clock time,
+    # never results, so the adaptive default is safe.
+    # ------------------------------------------------------------------
+    def resolved_basis_cache_size(self) -> int:
+        """Effective column/fit LRU budget (size-adaptive at the default).
+
+        Scaled to hold roughly four generations of columns at the configured
+        population size (offspring reuse parental basis functions heavily,
+        so a few generations of headroom is what converts churn into hits).
+        """
+        if not self.adaptive_cache_budgets \
+                or self.basis_cache_size != type(self).basis_cache_size:
+            return self.basis_cache_size
+        per_generation = self.population_size * self.max_basis_functions
+        return max(self.basis_cache_size, 4 * per_generation)
+
+    def resolved_gram_pool_size(self) -> int:
+        """Effective gram-pool pair budget (size-adaptive at the default).
+
+        A width-``k`` individual touches ``k*(k+1)/2`` pairs; the pool must
+        hold a few generations' worth or cross-generation gathers miss.
+        """
+        if not self.adaptive_cache_budgets \
+                or self.gram_pool_size != type(self).gram_pool_size:
+            return self.gram_pool_size
+        pairs_per_individual = (self.max_basis_functions
+                                * (self.max_basis_functions + 1)) // 2
+        return max(self.gram_pool_size,
+                   3 * self.population_size * pairs_per_individual)
+
+    def resolved_kernel_cache_size(self) -> int:
+        """Effective compiled-kernel LRU budget (size-adaptive at the default)."""
+        if not self.adaptive_cache_budgets \
+                or self.kernel_cache_size != type(self).kernel_cache_size:
+            return self.kernel_cache_size
+        return max(self.kernel_cache_size, 8 * self.population_size)
 
     # ------------------------------------------------------------------
     @classmethod

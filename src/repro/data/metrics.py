@@ -33,6 +33,7 @@ __all__ = [
     "normalized_rmse",
     "error_normalization",
     "relative_rmse",
+    "relative_rmse_rows",
     "q_wc",
     "q_tc",
     "r_squared",
@@ -119,6 +120,42 @@ def relative_rmse(y_true: np.ndarray, y_pred: np.ndarray,
     if not np.all(np.isfinite(y_pred)):
         return float("inf")
     return float(np.sqrt(np.mean((y_true - y_pred) ** 2)) / normalization)
+
+
+def relative_rmse_rows(y_true: np.ndarray, predictions_rows: np.ndarray,
+                       normalization: float) -> np.ndarray:
+    """Row-stacked :func:`relative_rmse`: one error per prediction row.
+
+    ``predictions_rows`` is an ``(m, n_samples)`` C-contiguous stack of
+    prediction vectors sharing one target; the result is the length-``m``
+    vector of per-row errors, each **bit-for-bit** what
+    ``relative_rmse(y_true, predictions_rows[i], normalization)`` returns.
+    The identity holds because every step is either elementwise (subtract,
+    square, sqrt, the two divisions -- exact per element regardless of
+    batching) or a reduction along the contiguous last axis, where NumPy's
+    pairwise summation depends only on each row's own data and length --
+    the same batch-stability argument
+    :func:`repro.regression.least_squares.pair_dots` rests on, enforced
+    here by the property tests in ``tests/test_core_residual.py``.  This is
+    the reduction step of the generation-batched residual engine
+    (``CaffeineSettings.residual_backend = "batched"``).
+    """
+    y_true = _as_1d(y_true, "y_true")
+    rows = np.ascontiguousarray(np.asarray(predictions_rows, dtype=float))
+    if rows.ndim != 2:
+        raise ValueError("predictions_rows must be 2-D (m, n_samples)")
+    if rows.shape[1] != y_true.shape[0]:
+        raise ValueError("predictions_rows and y_true disagree on n_samples")
+    if normalization <= 0 or not np.isfinite(normalization):
+        raise ValueError("normalization must be a positive finite scale")
+    with np.errstate(all="ignore"):
+        # errstate only silences FP warnings from non-finite rows (the scalar
+        # path never reduces those; here they are computed then overwritten).
+        finite = np.isfinite(rows).all(axis=1)
+        residuals = y_true[None, :] - rows
+        errors = np.sqrt(np.mean(residuals ** 2, axis=1)) / normalization
+        errors[~finite] = np.inf
+    return errors
 
 
 def q_wc(y_train: np.ndarray, y_train_pred: np.ndarray) -> float:

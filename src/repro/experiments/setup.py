@@ -140,7 +140,7 @@ def shared_column_cache(settings: Optional[CaffeineSettings] = None
     performance only) are isolated automatically by the fingerprint.
     """
     settings = settings if settings is not None else CaffeineSettings()
-    return BasisColumnCache(settings.basis_cache_size)
+    return BasisColumnCache(settings.resolved_basis_cache_size())
 
 
 @contextlib.contextmanager

@@ -17,6 +17,7 @@ from repro.regression.least_squares import (
     fit_linear_from_gram,
     pair_dots,
     predict_linear,
+    predict_linear_batch,
     raw_normal_statistics,
 )
 from repro.regression.press import (
@@ -39,6 +40,7 @@ __all__ = [
     "pair_dots",
     "raw_normal_statistics",
     "predict_linear",
+    "predict_linear_batch",
     "hat_matrix",
     "loo_residuals",
     "press_statistic",

@@ -23,6 +23,25 @@ summation depends only on the row's own data and length -- never on which
 other rows share the batch.  (BLAS GEMM does *not* have this property: the
 entries of ``P.T @ P`` change in the last ulp with the shape of ``P``, which
 is why the gram pool cannot simply gather from one big matrix product.)
+
+The same discipline applies on the *prediction* side.  A BLAS matvec
+``B @ w`` reduces each sample's ``k`` terms in an implementation-chosen
+order that may change with blocking, so predictions produced one individual
+at a time and predictions produced in a stacked batch could disagree in the
+last ulp.  :func:`predict_linear` therefore accumulates
+``w0 + sum_j wj * col_j`` **left to right over the basis columns**: every
+step is an elementwise multiply or add (exact per element, independent of
+how many individuals share the batch), and there is no cross-sample or
+cross-term reduction at all.  :func:`predict_linear_batch` runs the same
+left-to-right accumulation over an ``(m, n, k)`` stack of same-width basis
+matrices -- each output row is bit-for-bit the row :func:`predict_linear`
+would produce alone, which is what lets the generation-batched residual
+engine (``CaffeineSettings.residual_backend = "batched"``) replace
+per-individual prediction/residual passes with one stacked pass per basis
+width.  The residual reduction then goes through
+:func:`repro.data.metrics.relative_rmse_rows`, a contiguous-last-axis
+pairwise summation with the same row-independence property as
+:func:`pair_dots`.
 """
 
 from __future__ import annotations
@@ -34,7 +53,7 @@ import numpy as np
 
 __all__ = ["LinearFit", "design_matrix", "fit_linear", "fit_linear_from_gram",
            "fit_linear_from_gram_batch", "pair_dots", "raw_normal_statistics",
-           "predict_linear"]
+           "predict_linear", "predict_linear_batch"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,6 +122,28 @@ def raw_normal_statistics(basis_matrix: np.ndarray, y: np.ndarray
     gram[upper_i, upper_j] = dots
     gram[upper_j, upper_i] = dots
     return gram, colsums, ydots
+
+
+def _accumulate_predictions(intercept: float, coefficients: np.ndarray,
+                            basis_matrix: np.ndarray) -> np.ndarray:
+    """The canonical prediction recipe: ``w0 + sum_j wj * col_j``, left to
+    right, purely elementwise -- shared by :func:`predict_linear`, both fit
+    entry points and (stacked) :func:`predict_linear_batch`."""
+    predictions = np.full(basis_matrix.shape[0], float(intercept))
+    for j in range(basis_matrix.shape[1]):
+        predictions += coefficients[j] * basis_matrix[:, j]
+    return predictions
+
+
+def _residual_sum_of_squares(residual_rows: np.ndarray) -> np.ndarray:
+    """Canonical per-row squared residual norms via :func:`pair_dots`.
+
+    ``residual_rows`` is an ``(m, n_samples)`` stack; each row's result is
+    independent of the stack (contiguous-axis pairwise summation), so the
+    scalar fits (``m == 1``) and the batched fit report identical
+    ``residual_sum_of_squares`` values.
+    """
+    return pair_dots(residual_rows, residual_rows)
 
 
 def _intercept_only_fit(y: np.ndarray, include_intercept: bool) -> LinearFit:
@@ -190,11 +231,15 @@ def _solve_from_raw(gram: np.ndarray, colsums: np.ndarray, ydots: np.ndarray,
         intercept = 0.0
         coefficients = solution / scales
 
-    predictions = basis_matrix @ coefficients + intercept
+    coefficients = np.asarray(coefficients, dtype=float)
+    # Canonical prediction + residual reduction (see the module docstring):
+    # the same bits whether this fit is solved alone or as one row of the
+    # batched path's stacked solve.
+    predictions = _accumulate_predictions(intercept, coefficients, basis_matrix)
     residuals = y - predictions
-    return LinearFit(intercept=intercept,
-                     coefficients=np.asarray(coefficients, dtype=float),
-                     residual_sum_of_squares=float(residuals @ residuals),
+    rss = float(_residual_sum_of_squares(residuals[None, :])[0])
+    return LinearFit(intercept=intercept, coefficients=coefficients,
+                     residual_sum_of_squares=rss,
                      rank=rank, singular=singular)
 
 
@@ -347,25 +392,40 @@ def fit_linear_from_gram_batch(grams: np.ndarray, colsums: np.ndarray,
 
     finite_rows = np.isfinite(solutions).all(axis=1)
     coefficient_rows = solutions[:, 1:] / scales
-    fits: List[Optional[LinearFit]] = []
-    for i in range(m):
-        if not finite_rows[i]:
-            fits.append(None)
-            continue
-        intercept = float(solutions[i, 0])
-        coefficients = coefficient_rows[i]
-        basis_matrix = basis_matrices[i]
-        predictions = basis_matrix @ coefficients + intercept
-        residuals = y - predictions
-        fits.append(LinearFit(
-            intercept=intercept, coefficients=coefficients,
-            residual_sum_of_squares=float(residuals @ residuals),
-            rank=int(ranks[i]), singular=False))
+    finite_indices = np.flatnonzero(finite_rows)
+    fits: List[Optional[LinearFit]] = [None] * m
+    if finite_indices.size == 0:
+        return fits
+    # One stacked canonical prediction pass plus one row-stacked residual
+    # reduction for the whole group -- each row bit-for-bit the scalar
+    # path's value (see the module docstring), so the only remaining
+    # per-fit n_samples-scaled work in this module is gone.
+    stacked = np.stack([np.asarray(basis_matrices[i], dtype=float)
+                        for i in finite_indices])
+    predictions = predict_linear_batch(solutions[finite_indices, 0],
+                                       coefficient_rows[finite_indices],
+                                       stacked)
+    residual_rows = y[None, :] - predictions
+    rss_rows = _residual_sum_of_squares(residual_rows)
+    for row, i in enumerate(finite_indices):
+        fits[i] = LinearFit(
+            intercept=float(solutions[i, 0]),
+            coefficients=coefficient_rows[i],
+            residual_sum_of_squares=float(rss_rows[row]),
+            rank=int(ranks[i]), singular=False)
     return fits
 
 
 def predict_linear(fit: LinearFit, basis_matrix: np.ndarray) -> np.ndarray:
-    """Evaluate a :class:`LinearFit` on a new basis matrix."""
+    """Evaluate a :class:`LinearFit` on a new basis matrix.
+
+    Uses the canonical left-to-right accumulation
+    ``w0 + sum_j wj * basis_matrix[:, j]`` rather than a BLAS matvec: every
+    step is elementwise, so the result is bit-for-bit independent of whether
+    the prediction is computed alone or as one row of
+    :func:`predict_linear_batch`'s stacked pass (see the module docstring's
+    prediction-side batch-stability argument).
+    """
     basis_matrix = np.asarray(basis_matrix, dtype=float)
     if basis_matrix.ndim != 2:
         raise ValueError("basis_matrix must be 2-D")
@@ -374,6 +434,60 @@ def predict_linear(fit: LinearFit, basis_matrix: np.ndarray) -> np.ndarray:
             f"fit has {fit.n_terms} terms but basis matrix has "
             f"{basis_matrix.shape[1]} columns"
         )
-    if fit.n_terms == 0:
-        return np.full(basis_matrix.shape[0], fit.intercept)
-    return basis_matrix @ fit.coefficients + fit.intercept
+    return _accumulate_predictions(fit.intercept, fit.coefficients,
+                                   basis_matrix)
+
+
+def predict_linear_batch(intercepts: np.ndarray, coefficient_rows: np.ndarray,
+                         stacked_matrices: np.ndarray) -> np.ndarray:
+    """Stacked same-width predictions, bit-for-bit :func:`predict_linear`.
+
+    Parameters
+    ----------
+    intercepts:
+        ``(m,)`` fitted intercepts, one per individual.
+    coefficient_rows:
+        ``(m, k)`` fitted coefficients (every individual has ``k`` basis
+        functions -- callers group by width).
+    stacked_matrices:
+        ``(m, n_samples, k)`` stack of the individuals' basis matrices.
+
+    Returns the ``(m, n_samples)`` prediction rows.  Row ``i`` is computed
+    by exactly the floating-point operations of
+    ``predict_linear(fit_i, stacked_matrices[i])``: the accumulation is
+    left-to-right over the ``k`` columns and purely elementwise, so batch
+    composition cannot change a single bit (no cross-term reduction exists
+    for a batch shape to perturb -- the prediction-side analogue of
+    :func:`pair_dots`).
+
+    One precisely-scoped caveat: when an *addition meets two NaN operands
+    with different payloads*, x86 SIMD lanes and scalar tails may propagate
+    different payloads, so NaN bit patterns (payload/sign only -- never
+    NaN-ness itself, nor any non-NaN value) can depend on array shape.
+    Two-NaN additions require NaN *inputs*: with finite intercepts and
+    coefficients (every successful fit -- non-finite solutions are
+    rejected) and finite columns, products of finite operands can overflow
+    to infinity but never to NaN, so at most one NaN operand ever reaches
+    an addition and the guarantee is fully bit-for-bit.  Columns containing
+    NaN (e.g. test-set blow-ups) yield NaN predictions in identical
+    *positions* either way, and the downstream residual reduction
+    (:func:`repro.data.metrics.relative_rmse_rows`) maps any NaN-bearing
+    row to ``inf`` regardless of payload -- so reported errors are always
+    bit-for-bit equal, which is the quantity the engine's equivalence
+    guarantees cover (enforced in ``tests/test_core_residual.py``).
+    """
+    intercepts = np.asarray(intercepts, dtype=float)
+    coefficient_rows = np.asarray(coefficient_rows, dtype=float)
+    stacked = np.asarray(stacked_matrices, dtype=float)
+    if stacked.ndim != 3:
+        raise ValueError("stacked_matrices must be 3-D (m, n_samples, k)")
+    m, n_samples, k = stacked.shape
+    if coefficient_rows.shape != (m, k):
+        raise ValueError("coefficient_rows must have shape (m, k)")
+    if intercepts.shape != (m,):
+        raise ValueError("intercepts must have shape (m,)")
+    predictions = np.empty((m, n_samples))
+    predictions[...] = intercepts[:, None]
+    for j in range(k):
+        predictions += coefficient_rows[:, j, None] * stacked[:, :, j]
+    return predictions

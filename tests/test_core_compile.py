@@ -31,7 +31,7 @@ from repro.core.expression import (
     WeightedSum,
     WeightedTerm,
 )
-from repro.core.functions import default_function_set
+from repro.core.functions import UNARY_OPERATORS, default_function_set
 from repro.core.generator import ExpressionGenerator
 from repro.core.individual import Individual, evaluate_basis_column
 from repro.core.operators import VariationOperators
@@ -327,6 +327,146 @@ def test_compile_basis_function_convenience():
     kernel = compile_basis_function(basis, X)
     _assert_bitwise_equal(kernel(kernel.compiled_params),
                           evaluate_basis_column(basis, X))
+
+
+class TestCanonicalFactorOrder:
+    """Commutative factor-order variants collapse to one kernel."""
+
+    def _order_variants(self):
+        """Two trees identical up to the order of their product factors."""
+        op_a = UnaryOpTerm(op=UNARY_OPERATORS["abs"],
+                           argument=WeightedSum(offset=Weight(stored=1.0)))
+        op_b = UnaryOpTerm(op=UNARY_OPERATORS["sqrt"],
+                           argument=WeightedSum(offset=Weight(stored=2.0)))
+        ab = ProductTerm(vc=VariableCombo((1, 0)),
+                         ops=[op_a.clone(), op_b.clone()])
+        ba = ProductTerm(vc=VariableCombo((1, 0)),
+                         ops=[op_b.clone(), op_a.clone()])
+        return ab, ba
+
+    def test_canonicalized_variants_share_key_and_kernel(self):
+        from repro.core.compile import canonicalize_factors
+        from repro.core.expression import structural_key
+
+        ab, ba = self._order_variants()
+        assert structural_key(ab) != structural_key(ba)  # pre-normalization
+        canonicalize_factors(ab)
+        canonicalize_factors(ba)
+        assert structural_key(ab) == structural_key(ba)
+        assert skeleton_and_params(ab) == skeleton_and_params(ba)
+
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0.5, 2.0, size=(12, 2))
+        compiler = TreeCompiler(X)
+        first = compiler.column(ab)    # first sighting: interpreted
+        second = compiler.column(ba)   # recurrence: compiles one tape
+        third = compiler.column(ab)    # served by the cached kernel
+        assert compiler.n_compiled == 1
+        assert compiler.n_kernel_hits == 1
+        assert compiler.kernel_hit_rate == pytest.approx(1.0 / 3.0)
+        # One canonical evaluation order => identical bits across variants
+        # and against the interpreter on the canonical tree.
+        _assert_bitwise_equal(first, second)
+        _assert_bitwise_equal(second, third)
+        _assert_bitwise_equal(first, evaluate_basis_column(ab, X))
+        _assert_bitwise_equal(first, evaluate_basis_column(ba, X))
+
+    def test_nested_order_variants_merge_post_order(self):
+        """Outer factor lists must sort against *canonical* inner keys.
+
+        Each tree here holds two outer factors that tie on everything
+        before their nested products and carry OPPOSITE raw inner factor
+        orders; only the trailing weight (3.0 vs 4.0) disambiguates them
+        canonically.  A pre-order walk sorts the outer list while the
+        nested orders still disagree, so the two canonically-identical
+        trees end with different outer orders (and different structural
+        keys) -- the post-order walk merges them to one.
+        """
+        from repro.core.compile import canonicalize_factors
+        from repro.core.expression import structural_key
+
+        def unary(name, term):
+            return UnaryOpTerm(op=UNARY_OPERATORS[name],
+                               argument=WeightedSum(
+                                   offset=Weight(stored=1.0),
+                                   terms=[WeightedTerm(
+                                       weight=Weight(stored=2.0),
+                                       term=term)]))
+
+        def nested(abs_first):
+            ops = [unary("abs", ProductTerm(vc=VariableCombo((1,)))),
+                   unary("sqrt", ProductTerm(vc=VariableCombo((1,))))]
+            return ProductTerm(ops=ops if abs_first
+                               else list(reversed(ops)))
+
+        def outer_factor(abs_first, trailing):
+            return UnaryOpTerm(op=UNARY_OPERATORS["log10"],
+                               argument=WeightedSum(
+                                   offset=Weight(stored=1.0),
+                                   terms=[WeightedTerm(
+                                       weight=Weight(stored=2.0),
+                                       term=nested(abs_first)),
+                                       WeightedTerm(
+                                           weight=Weight(stored=trailing),
+                                           term=ProductTerm(
+                                               vc=VariableCombo((1,))))]))
+
+        def tree(first_abs_first):
+            return ProductTerm(ops=[outer_factor(first_abs_first, 3.0),
+                                    outer_factor(not first_abs_first, 4.0)])
+
+        variants = [tree(True), tree(False)]
+        assert structural_key(variants[0]) != structural_key(variants[1])
+        for v in variants:
+            canonicalize_factors(v)
+        keys_after = {structural_key(v) for v in variants}
+        assert len(keys_after) == 1
+        # Idempotent: a second pass changes nothing.
+        for v in variants:
+            canonicalize_factors(v)
+        assert {structural_key(v) for v in variants} == keys_after
+
+    def test_canonicalization_is_idempotent_and_recursive(self):
+        from repro.core.compile import canonicalize_factors
+        from repro.core.expression import structural_key
+
+        ab, ba = self._order_variants()
+        # Nest the order variants one level down inside a weighted sum.
+        outer_ab = ProductTerm(ops=[UnaryOpTerm(
+            op=UNARY_OPERATORS["log10"],
+            argument=WeightedSum(offset=Weight(stored=0.5),
+                                 terms=[WeightedTerm(weight=Weight(stored=1.0),
+                                                     term=ab)]))])
+        outer_ba = ProductTerm(ops=[UnaryOpTerm(
+            op=UNARY_OPERATORS["log10"],
+            argument=WeightedSum(offset=Weight(stored=0.5),
+                                 terms=[WeightedTerm(weight=Weight(stored=1.0),
+                                                     term=ba)]))])
+        canonicalize_factors(outer_ab)
+        canonicalize_factors(outer_ba)
+        assert structural_key(outer_ab) == structural_key(outer_ba)
+        before = structural_key(outer_ab)
+        canonicalize_factors(outer_ab)
+        assert structural_key(outer_ab) == before
+
+    def test_generator_and_operators_emit_canonical_trees(self):
+        from repro.core.compile import canonicalize_factors
+        from repro.core.expression import structural_key
+
+        settings = CaffeineSettings(p_operator_factor=0.9,
+                                    population_size=10, n_generations=1)
+        generator = ExpressionGenerator(2, settings,
+                                        rng=np.random.default_rng(23))
+        operators = VariationOperators(generator, settings)
+        population = [Individual(bases=generator.random_basis_functions())
+                      for _ in range(12)]
+        children = [operators.vary(population[i], population[(i + 1) % 12])
+                    for i in range(12)]
+        for individual in population + children:
+            for basis in individual.bases:
+                key_before = structural_key(basis)
+                canonicalize_factors(basis)
+                assert structural_key(basis) == key_before
 
 
 def test_engine_fixed_seed_identical_across_column_backends():
