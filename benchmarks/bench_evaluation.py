@@ -29,9 +29,14 @@ generation-batched prediction/residual pass vs per-individual scoring) and
 ROADMAP's scaling item): per-phase wall-clocks (generation, evaluation,
 selection), evaluations/sec, every cache hit rate, the size-adaptive
 budgets actually resolved, and a scalar-vs-batched residual equivalence
-check at that scale.  NSGA-II ranking time is reported *separately* (it is
-selection, not evaluation) in a ``pareto_sort`` section -- and at larger
-population scales in ``bench_pareto.json``.
+check at that scale.  The ``selection_variation`` section puts the
+structure-sharing genome backend head to head against its deepcopy
+reference (per-operator child cost, node clones per offspring,
+population-1000 phase seconds for both) and contributes the
+``genome_shared_vs_deepcopy`` bit-identity verdict.  NSGA-II ranking time
+is reported *separately* (it is selection, not evaluation) in a
+``pareto_sort`` section -- and at larger population scales in
+``bench_pareto.json``.
 
 Emits machine-readable JSON (``benchmarks/output/bench_evaluation.json``;
 schema documented in ``benchmarks/README.md``) so future PRs can track the
@@ -84,6 +89,10 @@ MIN_RESIDUAL_SPEEDUP = 0.0 if _GATES_RELAXED else 0.9
 #: backend's kernel hit rate above the ~25% the ROADMAP flagged.
 #: Deterministic (fixed seed), so never relaxed.
 MIN_POPULATION_1000_KERNEL_HIT_RATE = 0.25
+#: The structure-sharing genome must never lose to the deepcopy reference
+#: on the population-1000 variation phase (it shares every untouched
+#: subtree instead of cloning the whole parent per child).
+MIN_SHARED_VARIATION_SPEEDUP = 0.0 if _GATES_RELAXED else 1.0
 
 #: Figure-3 workload scale: population 100 over the benchmark generation
 #: budget used by the shared harness (see conftest.BENCH_SETTINGS).
@@ -345,6 +354,76 @@ POPULATION_1000_SETTINGS = CaffeineSettings(
 )
 
 
+def _run_population_1000(train, genome_backend):
+    """One fixed-seed population-1000 engine loop with per-phase timers.
+
+    Mirrors :meth:`CaffeineEngine.step` exactly (array-native ranking,
+    batched tournament draws, ``select_and_rerank`` survivor selection) so
+    the phase timers measure the code the engine actually runs; the loop is
+    unrolled here only to put ``time.perf_counter()`` fences between the
+    phases.  Returns the phase wall-clocks, the engine (for cache/counter
+    inspection), the first offspring batch (for residual equivalence) and a
+    bit-level snapshot of the final population (errors, complexities and
+    per-basis structural keys) for the shared-vs-deepcopy verdict.
+    """
+    import numpy as np
+
+    from repro.core.expression import structural_key
+    from repro.core.individual import Individual
+    from repro.core.nsga2 import (rank_population_arrays, select_and_rerank,
+                                  tournament_winner)
+
+    settings = POPULATION_1000_SETTINGS.copy(genome_backend=genome_backend)
+    engine = CaffeineEngine(train, settings=settings)
+    phase = {"generation": 0.0, "evaluation": 0.0, "selection": 0.0}
+    captured_offspring = None
+    n = settings.population_size
+    bounds = np.array([n, n - 1, n, n - 1], dtype=np.int64)
+
+    start = time.perf_counter()
+    population = [Individual(bases=engine.generator.random_basis_functions())
+                  for _ in range(n)]
+    phase["generation"] += time.perf_counter() - start
+    start = time.perf_counter()
+    engine.evaluator.evaluate_population(population)
+    phase["evaluation"] += time.perf_counter() - start
+    engine.population = population
+
+    start = time.perf_counter()
+    ranked = rank_population_arrays(engine.population,
+                                    backend=settings.pareto_backend)
+    selection_seconds = time.perf_counter() - start
+    for _generation in range(settings.n_generations):
+        start = time.perf_counter()
+        offspring = []
+        for _ in range(n):
+            draws = engine.rng.integers(0, bounds)
+            parent_a = engine.population[
+                tournament_winner(ranked, draws[0], draws[1])]
+            parent_b = engine.population[
+                tournament_winner(ranked, draws[2], draws[3])]
+            offspring.append(engine.operators.vary(parent_a, parent_b))
+        phase["generation"] += time.perf_counter() - start
+        if captured_offspring is None:
+            captured_offspring = [ind.clone() for ind in offspring]
+        start = time.perf_counter()
+        engine.evaluator.evaluate_population(offspring)
+        phase["evaluation"] += time.perf_counter() - start
+        start = time.perf_counter()
+        engine.population, ranked = select_and_rerank(
+            engine.population + offspring, n,
+            backend=settings.pareto_backend)
+        phase["selection"] += selection_seconds \
+            + (time.perf_counter() - start)
+        selection_seconds = 0.0
+
+    final_snapshot = [
+        (repr(ind.error), repr(ind.complexity),
+         tuple(repr(structural_key(basis)) for basis in ind.bases))
+        for ind in engine.population]
+    return phase, engine, captured_offspring, final_snapshot
+
+
 def _measure_population_1000(train):
     """The ROADMAP's population >= 1000 scaling item, measured end to end.
 
@@ -355,46 +434,9 @@ def _measure_population_1000(train):
     resolved, and a scalar-vs-batched residual equivalence verdict on this
     scale's first offspring batch.
     """
-    from repro.core.individual import Individual
-    from repro.core.nsga2 import binary_tournament, environmental_selection
-
     settings = POPULATION_1000_SETTINGS
-    engine = CaffeineEngine(train, settings=settings)
-    phase = {"generation": 0.0, "evaluation": 0.0, "selection": 0.0}
-    captured_offspring = None
-
-    start = time.perf_counter()
-    population = [Individual(bases=engine.generator.random_basis_functions())
-                  for _ in range(settings.population_size)]
-    phase["generation"] += time.perf_counter() - start
-    start = time.perf_counter()
-    engine.evaluator.evaluate_population(population)
-    phase["evaluation"] += time.perf_counter() - start
-    engine.population = population
-
-    for _generation in range(settings.n_generations):
-        start = time.perf_counter()
-        ranked = rank_population(engine.population,
-                                 backend=settings.pareto_backend)
-        selection_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        offspring = []
-        for _ in range(settings.population_size):
-            parent_a = binary_tournament(ranked, engine.rng)
-            parent_b = binary_tournament(ranked, engine.rng)
-            offspring.append(engine.operators.vary(parent_a, parent_b))
-        phase["generation"] += time.perf_counter() - start
-        if captured_offspring is None:
-            captured_offspring = [ind.clone() for ind in offspring]
-        start = time.perf_counter()
-        engine.evaluator.evaluate_population(offspring)
-        phase["evaluation"] += time.perf_counter() - start
-        start = time.perf_counter()
-        engine.population = environmental_selection(
-            engine.population + offspring, settings.population_size,
-            backend=settings.pareto_backend)
-        phase["selection"] += selection_seconds \
-            + (time.perf_counter() - start)
+    phase, engine, captured_offspring, final_snapshot = \
+        _run_population_1000(train, settings.genome_backend)
 
     evaluator = engine.evaluator
     compiler = evaluator._compiler
@@ -416,6 +458,7 @@ def _measure_population_1000(train):
         "workload": "figure3-PM engine loop at population 1000",
         "population_size": settings.population_size,
         "n_generations": settings.n_generations,
+        "genome_backend": settings.genome_backend,
         "n_evaluations": n_evaluations,
         "evaluations_per_second": round(
             n_evaluations / phase["evaluation"], 1),
@@ -433,7 +476,145 @@ def _measure_population_1000(train):
         "resolved_gram_pool_size": settings.resolved_gram_pool_size(),
         "resolved_kernel_cache_size": settings.resolved_kernel_cache_size(),
     }
-    return report, equal
+    return report, equal, final_snapshot
+
+
+#: Node classes whose ``clone`` calls the clones-per-offspring probe counts.
+_CLONABLE_NODE_CLASSES = ("ProductTerm", "UnaryOpTerm", "BinaryOpTerm",
+                          "ConditionalOpTerm", "WeightedSum", "WeightedTerm")
+
+
+def _count_node_clones(run_once, n_calls):
+    """Average expression-node ``clone()`` calls per invocation of
+    ``run_once``, counted by temporarily wrapping every node class."""
+    import repro.core.expression as expression_module
+
+    counter = [0]
+    originals = {}
+
+    def counting(original):
+        def wrapper(self):
+            counter[0] += 1
+            return original(self)
+        return wrapper
+
+    for class_name in _CLONABLE_NODE_CLASSES:
+        node_class = getattr(expression_module, class_name)
+        originals[node_class] = node_class.clone
+        node_class.clone = counting(node_class.clone)
+    try:
+        for _ in range(n_calls):
+            run_once()
+    finally:
+        for node_class, original in originals.items():
+            node_class.clone = original
+    return counter[0] / n_calls
+
+
+def _measure_selection_variation(train, shared_population_1000_report,
+                                 shared_final_snapshot):
+    """The structure-sharing genome vs the deepcopy reference, head to head.
+
+    Three views of the same tentpole:
+
+    * ``per_operator_child_microseconds`` -- each variation operator timed
+      in isolation on identical fixed-seed parents under both genome
+      backends (path-copying shares untouched subtrees; the reference
+      deep-clones a parent per child);
+    * ``clones_per_offspring`` -- expression-node ``clone()`` calls per
+      ``vary`` call under each backend (the structural measure the timing
+      follows);
+    * population-1000 phase seconds for the deepcopy backend next to the
+      shared run's (copied from the ``population_1000`` section so the pair
+      is read side by side), plus the combined selection+variation
+      per-generation seconds the PR's acceptance gate tracks.
+
+    Also produces the ``genome_shared_vs_deepcopy`` equivalence verdict:
+    the deepcopy population-1000 run must reach a bit-identical final
+    population (errors, complexities, structural keys), and a fixed-seed
+    Figure-3 workload must yield bit-identical Pareto fronts through
+    ``run_caffeine`` under both backends.
+    """
+    import numpy as np
+
+    from repro.core.engine import run_caffeine
+    from repro.core.generator import ExpressionGenerator
+    from repro.core.individual import Individual
+    from repro.core.operators import VariationOperators
+
+    unary = ("parameter_mutation", "vc_mutation", "subtree_mutation",
+             "basis_delete", "basis_add")
+    binary = ("vc_crossover", "subtree_crossover", "basis_crossover",
+              "basis_copy")
+    per_operator = {name: {} for name in unary + binary}
+    clones_per_offspring = {}
+
+    for genome_backend in ("shared", "deepcopy"):
+        settings = WORKLOAD_SETTINGS.copy(genome_backend=genome_backend)
+        generator = ExpressionGenerator(train.X.shape[1], settings,
+                                        rng=np.random.default_rng(7))
+        operators = VariationOperators(generator, settings,
+                                       rng=np.random.default_rng(8))
+        parent_a = Individual(bases=generator.random_basis_functions(6))
+        parent_b = Individual(bases=generator.random_basis_functions(6))
+
+        best = {name: float("inf") for name in per_operator}
+        repeats = 200
+        for _round in range(TIMING_ROUNDS):
+            for name in unary + binary:
+                operator = getattr(operators, name)
+                start = time.perf_counter()
+                if name in unary:
+                    for _ in range(repeats):
+                        operator(parent_a)
+                else:
+                    for _ in range(repeats):
+                        operator(parent_a, parent_b)
+                seconds = time.perf_counter() - start
+                best[name] = min(best[name], seconds)
+        for name, seconds in best.items():
+            per_operator[name][genome_backend] = round(
+                seconds / repeats * 1e6, 2)
+
+        clones_per_offspring[genome_backend] = round(_count_node_clones(
+            lambda: operators.vary(parent_a, parent_b), 300), 2)
+
+    for name, entry in per_operator.items():
+        entry["speedup"] = round(
+            entry["deepcopy"] / max(entry["shared"], 1e-9), 2)
+
+    # Deepcopy reference at population 1000 + the bit-identity verdict.
+    deepcopy_phase, _engine, _offspring, deepcopy_snapshot = \
+        _run_population_1000(train, "deepcopy")
+    population_1000_equal = deepcopy_snapshot == shared_final_snapshot
+
+    figure3_settings = WORKLOAD_SETTINGS.copy(n_generations=5)
+    fronts = {}
+    for genome_backend in ("shared", "deepcopy"):
+        result = run_caffeine(train, settings=figure3_settings.copy(
+            genome_backend=genome_backend))
+        fronts[genome_backend] = [
+            (repr(model.train_error), repr(model.complexity),
+             model.expression()) for model in result.tradeoff]
+    figure3_equal = fronts["shared"] == fronts["deepcopy"]
+
+    shared = shared_population_1000_report
+    report = {
+        "workload": "figure3-PM variation + selection, shared vs deepcopy",
+        "per_operator_child_microseconds": per_operator,
+        "clones_per_offspring": clones_per_offspring,
+        "population_1000_shared_generation_seconds":
+            shared["generation_seconds"],
+        "population_1000_shared_selection_seconds":
+            shared["selection_seconds"],
+        "population_1000_deepcopy_generation_seconds":
+            round(deepcopy_phase["generation"], 4),
+        "population_1000_deepcopy_selection_seconds":
+            round(deepcopy_phase["selection"], 4),
+        "population_1000_selection_plus_generation_seconds": round(
+            shared["generation_seconds"] + shared["selection_seconds"], 4),
+    }
+    return report, population_1000_equal and figure3_equal
 
 
 def _measure_persistent_cache(engine, batches, tmp_path):
@@ -601,8 +782,11 @@ def test_population_evaluation_throughput(benchmark, bench_datasets,
         engine, offspring_batches)
     cache_report, cache_equal = _measure_persistent_cache(
         engine, offspring_batches, str(tmp_path))
-    population_1000_report, population_1000_equal = \
+    population_1000_report, population_1000_equal, shared_final_snapshot = \
         _measure_population_1000(train)
+    selection_variation_report, genome_backends_equal = \
+        _measure_selection_variation(train, population_1000_report,
+                                     shared_final_snapshot)
     sort_report = _measure_sort(population_batches[-1])
     session_report, session_equal = _measure_session_api(train)
     concurrent_report, concurrent_ok = _measure_concurrent_store(
@@ -616,6 +800,7 @@ def test_population_evaluation_throughput(benchmark, bench_datasets,
         "interp_vs_compiled": column_equal,
         "residual_scalar_vs_batched": residual_equal,
         "population_1000_scalar_vs_batched": population_1000_equal,
+        "genome_shared_vs_deepcopy": genome_backends_equal,
         "cold_vs_warm_cache": cache_equal,
         "legacy_shim_vs_session": session_equal,
         "concurrent_store_writers_lose_nothing": concurrent_ok,
@@ -632,6 +817,7 @@ def test_population_evaluation_throughput(benchmark, bench_datasets,
         "residual_backend": residual_report,
         "persistent_cache": cache_report,
         "population_1000": population_1000_report,
+        "selection_variation": selection_variation_report,
         "pareto_sort": sort_report,
         "session_api": session_report,
         "concurrent_store": concurrent_report,
@@ -672,6 +858,15 @@ def test_population_evaluation_throughput(benchmark, bench_datasets,
         (f"population-1000 kernel hit rate regressed: "
          f"{population_1000_report['kernel_hit_rate']} <= "
          f"{MIN_POPULATION_1000_KERNEL_HIT_RATE}")
+    shared_generation = selection_variation_report[
+        "population_1000_shared_generation_seconds"]
+    deepcopy_generation = selection_variation_report[
+        "population_1000_deepcopy_generation_seconds"]
+    assert deepcopy_generation / shared_generation >= \
+        MIN_SHARED_VARIATION_SPEEDUP, \
+        (f"shared-genome variation lost to the deepcopy reference: "
+         f"{deepcopy_generation / shared_generation:.2f}x < "
+         f"{MIN_SHARED_VARIATION_SPEEDUP}x")
     # Offspring reuse parental basis functions even though their fits are
     # fresh; survivors recur wholesale; offspring grams are mostly gathers;
     # a store-warmed cache serves nearly every column from disk.

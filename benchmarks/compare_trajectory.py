@@ -16,10 +16,11 @@ true, or a missing/unreadable report, means a fast path no longer
 reproduces the reference results exactly, which is a correctness bug
 regardless of machine load.  For ``bench_evaluation.json`` specifically,
 the required equivalence keys (``REQUIRED_EQUIVALENCE_KEYS``) must also
-*exist* and hold -- the residual-backend and population-1000 verdicts
-cannot silently drop out of the report -- and the ``population_1000``
-scaling section is summarized in its own block so the n=1000 trajectory
-stays visible in every step summary.
+*exist* and hold -- the residual-backend, population-1000 and
+shared-vs-deepcopy genome verdicts cannot silently drop out of the report
+-- and the ``population_1000`` and ``selection_variation`` sections are
+summarized in their own blocks so the n=1000 trajectory and the
+genome-backend head-to-head stay visible in every step summary.
 
 To refresh the baselines after an intentional change, run the benchmarks
 locally and copy the outputs over the committed files::
@@ -62,6 +63,7 @@ REQUIRED_EQUIVALENCE_KEYS = {
     "bench_evaluation.json": (
         "residual_scalar_vs_batched",
         "population_1000_scalar_vs_batched",
+        "genome_shared_vs_deepcopy",
     ),
 }
 
@@ -69,7 +71,7 @@ REQUIRED_EQUIVALENCE_KEYS = {
 #: flattened metrics), so headline scaling numbers are readable without
 #: scanning the full table.
 HIGHLIGHT_SECTIONS = {
-    "bench_evaluation.json": ("population_1000",),
+    "bench_evaluation.json": ("population_1000", "selection_variation"),
 }
 
 

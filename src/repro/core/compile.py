@@ -80,6 +80,7 @@ from repro.core.expression import (
     ProductTerm,
     UnaryOpTerm,
     WeightedSum,
+    cached_structural_key,
     structural_key,
 )
 from repro.core.individual import _MAGNITUDE_LIMIT, evaluate_basis_column
@@ -90,6 +91,8 @@ __all__ = [
     "CompiledKernel",
     "TreeCompiler",
     "canonicalize_factors",
+    "canonicalize_fresh_product_term",
+    "cached_skeleton_and_params",
     "compile_basis_function",
     "skeleton_and_params",
 ]
@@ -214,6 +217,13 @@ def canonicalize_factors(node) -> None:
     factors against not-yet-canonical inner orderings would let nested
     order-variants keep distinct outer orders, and would make the
     normalization non-idempotent.
+
+    Post-order is also what makes the sort keys safe to memoize on the
+    nodes (:func:`~repro.core.expression.cached_structural_key`): by the
+    time a factor's key is asked for, its whole subtree has already been
+    canonicalized and will never change again, so the memo written here is
+    the node's final key -- shared subtrees of a path-copied child answer
+    from the parent's memo without a walk.
     """
     children = getattr(node, "children", None)
     if children is not None:
@@ -221,7 +231,26 @@ def canonicalize_factors(node) -> None:
             canonicalize_factors(child)
     if type(node) is ProductTerm and len(node.ops) > 1:
         try:
-            node.ops.sort(key=lambda op: _comparable(structural_key(op)))
+            node.ops.sort(key=lambda op: _comparable(cached_structural_key(op)))
+        except TypeError:
+            pass
+
+
+def canonicalize_fresh_product_term(term: ProductTerm) -> None:
+    """Sort one freshly path-copied product term's factor list, in place.
+
+    The structure-sharing operators rebuild only the spine from an edited
+    slot to its basis root; every subtree hanging off that spine is shared
+    with the parent and therefore already canonical.  Calling this on each
+    fresh spine node in deepest-first creation order is exactly the subset
+    of :func:`canonicalize_factors`'s post-order work that can actually
+    reorder anything -- sorting an untouched, already-sorted factor list is
+    a stable no-op -- so the shared path stays bit-identical to the
+    deepcopy path's full-tree pass.
+    """
+    if len(term.ops) > 1:
+        try:
+            term.ops.sort(key=lambda op: _comparable(cached_structural_key(op)))
         except TypeError:
             pass
 
@@ -258,6 +287,24 @@ def skeleton_and_params(basis: ProductTerm) -> Tuple[Tuple, Tuple[float, ...]]:
     params: List[float] = []
     _skeleton(basis, tokens, params)
     return tuple(tokens), tuple(params)
+
+
+def cached_skeleton_and_params(basis: ProductTerm
+                               ) -> Tuple[Tuple, Tuple[float, ...]]:
+    """:func:`skeleton_and_params` memoized on the basis root.
+
+    Same freshness contract as
+    :func:`~repro.core.expression.cached_structural_key`: only queried at
+    evaluation time, when the tree is canonical and final.  A path-copied
+    child shares all-but-one basis with its parent, so all shared bases
+    answer without re-walking their trees.
+    """
+    cached = getattr(basis, "_skeleton_params", None)
+    if cached is not None:
+        return cached
+    pair = skeleton_and_params(basis)
+    basis._skeleton_params = pair
+    return pair
 
 
 def _skeleton(node, tokens: List, params: List[float]) -> None:

@@ -32,7 +32,12 @@ from repro.core.evaluation import BasisColumnCache, PopulationEvaluator
 from repro.core.generator import ExpressionGenerator
 from repro.core.individual import Individual
 from repro.core.model import SymbolicModel, TradeoffSet, batch_test_errors
-from repro.core.nsga2 import binary_tournament, environmental_selection, rank_population
+from repro.core.nsga2 import (
+    RankedPopulation,
+    rank_population_arrays,
+    select_and_rerank,
+    tournament_winner,
+)
 from repro.core.operators import VariationOperators
 from repro.core.pareto import nondominated_filter
 from repro.core.settings import CaffeineSettings
@@ -121,6 +126,12 @@ class CaffeineEngine:
         self._pareto_backend = self.settings.pareto_backend
         self.history: List[GenerationStats] = []
         self.population: List[Individual] = []
+        # Rank/crowding arrays of the *current* population, produced by the
+        # previous generation's select_and_rerank (or computed fresh on
+        # first use).  Guarded by list identity: external drivers that
+        # assign engine.population invalidate the cache automatically.
+        self._ranked: Optional[RankedPopulation] = None
+        self._tournament_bounds: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def initialize_population(self) -> None:
@@ -132,32 +143,88 @@ class CaffeineEngine:
         self.evaluator.evaluate_population(self.population)
 
     def step(self, generation: int) -> GenerationStats:
-        """Run one NSGA-II generation and return its statistics."""
-        ranked = rank_population(self.population, backend=self._pareto_backend)
+        """Run one NSGA-II generation and return its statistics.
+
+        Selection is array-native: the current population's rank/crowding
+        vectors (cached from the previous generation's survivor selection,
+        computed fresh at generation 0) drive the binary tournaments, with
+        each offspring's four index draws batched into one ``rng.integers``
+        call that reproduces the sequential draw stream exactly; after
+        evaluation, :func:`~repro.core.nsga2.select_and_rerank` performs
+        survivor selection and derives the survivors' arrays from one
+        nondominated sort of the combined population.
+        """
+        ranked = self._ranked_population()
+        population = self.population
+        n = len(population)
         offspring: List[Individual] = []
-        for _ in range(self.settings.population_size):
-            parent_a = binary_tournament(ranked, self.rng)
-            parent_b = binary_tournament(ranked, self.rng)
-            child = self.operators.vary(parent_a, parent_b)  # type: ignore[arg-type]
-            child.generation_born = generation
-            offspring.append(child)
+        if n > 1:
+            bounds = self._tournament_bounds
+            if bounds is None or bounds[0] != n:
+                bounds = np.array([n, n - 1, n, n - 1], dtype=np.int64)
+                self._tournament_bounds = bounds
+            for _ in range(self.settings.population_size):
+                draws = self.rng.integers(0, bounds)
+                parent_a = population[tournament_winner(ranked, draws[0],
+                                                        draws[1])]
+                parent_b = population[tournament_winner(ranked, draws[2],
+                                                        draws[3])]
+                child = self.operators.vary(parent_a, parent_b)
+                child.generation_born = generation
+                offspring.append(child)
+        else:
+            # Degenerate single-member population (never produced by the
+            # engine itself, but external drivers may assign one): keep the
+            # reference draw sequence of one integers(1) per tournament.
+            for _ in range(self.settings.population_size):
+                parent_a = population[int(self.rng.integers(n))]
+                parent_b = population[int(self.rng.integers(n))]
+                child = self.operators.vary(parent_a, parent_b)
+                child.generation_born = generation
+                offspring.append(child)
         # Variation (RNG-driven) is kept strictly separate from evaluation
         # (RNG-free), so batching the evaluation preserves the random stream.
         self.evaluator.evaluate_population(offspring)
         combined = self.population + offspring
-        self.population = environmental_selection(combined,
-                                                  self.settings.population_size,
-                                                  backend=self._pareto_backend)
+        self.population, self._ranked = select_and_rerank(
+            combined, self.settings.population_size,
+            backend=self._pareto_backend)
         stats = self._collect_stats(generation)
         self.history.append(stats)
         return stats
 
+    def _ranked_population(self) -> RankedPopulation:
+        """Rank/crowding arrays for the current population (cached)."""
+        ranked = self._ranked
+        if ranked is None or ranked.individuals is not self.population:
+            ranked = rank_population_arrays(self.population,
+                                            backend=self._pareto_backend)
+            self._ranked = ranked
+        return ranked
+
+    def _front_individuals(self) -> List[Individual]:
+        """Feasible rank-0 members of the current population.
+
+        Identical to ``nondominated_filter`` over the feasible subset --
+        infeasible individuals all carry infinite error, so they never
+        dominate a feasible one and every dominator of a feasible
+        individual is itself feasible -- but answered from the cached rank
+        vector when it is current.
+        """
+        ranked = self._ranked
+        if ranked is not None and ranked.individuals is self.population:
+            return [ind for ind, rank in zip(self.population, ranked.ranks)
+                    if rank == 0 and ind.is_feasible]
+        feasible = [ind for ind in self.population if ind.is_feasible]
+        if not feasible:
+            return []
+        return nondominated_filter(feasible, key=lambda ind: ind.objectives,
+                                   backend=self._pareto_backend)
+
     def _collect_stats(self, generation: int) -> GenerationStats:
         feasible = [ind for ind in self.population if ind.is_feasible]
         errors = np.array([ind.error for ind in feasible]) if feasible else np.array([np.inf])
-        front = nondominated_filter(feasible, key=lambda ind: ind.objectives,
-                                    backend=self._pareto_backend) \
-            if feasible else []
+        front = self._front_individuals() if feasible else []
         best_complexity = min((ind.complexity for ind in front), default=float("inf"))
         return GenerationStats(
             generation=generation,
@@ -171,9 +238,7 @@ class CaffeineEngine:
     # ------------------------------------------------------------------
     def final_front(self) -> List[Individual]:
         """Feasible nondominated individuals of the final population."""
-        feasible = [ind for ind in self.population if ind.is_feasible]
-        return nondominated_filter(feasible, key=lambda ind: ind.objectives,
-                                   backend=self._pareto_backend)
+        return self._front_individuals()
 
     def run(self, progress: Optional[ProgressCallback] = None) -> CaffeineResult:
         """Run the full evolutionary loop plus post-processing.

@@ -58,9 +58,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.compile import TreeCompiler, skeleton_and_params
+from repro.core.compile import TreeCompiler, cached_skeleton_and_params
 from repro.core.complexity import basis_function_complexity, model_complexity
-from repro.core.expression import ProductTerm, structural_key
+from repro.core.expression import ProductTerm, cached_structural_key
 from repro.core.individual import (
     Individual,
     evaluate_basis_column,
@@ -469,8 +469,14 @@ class InterpColumnBackend:
         self.X = X
 
     def basis_key(self, basis: ProductTerm) -> Tuple:
-        """The exact evaluation-recipe identity used as the cache key."""
-        return structural_key(basis)
+        """The exact evaluation-recipe identity used as the cache key.
+
+        Served from the node's memoized key when the variation layer has
+        already computed it (shared-genome trees are never mutated in place
+        after canonicalization, so the memo cannot go stale; see
+        :func:`repro.core.expression.cached_structural_key`).
+        """
+        return cached_structural_key(basis)
 
     def evaluate(self, basis: ProductTerm, key: Tuple) -> np.ndarray:
         """Compute one column; ``key`` is the caller's precomputed key."""
@@ -503,7 +509,9 @@ class CompiledColumnBackend:
                             else CaffeineSettings.kernel_cache_size))
 
     def basis_key(self, basis: ProductTerm) -> Tuple:
-        return skeleton_and_params(basis)
+        # Memoized on the root node: offspring share untouched basis trees
+        # with their parents, so most keys per generation are cache hits.
+        return cached_skeleton_and_params(basis)
 
     def evaluate(self, basis: ProductTerm, key: Tuple) -> np.ndarray:
         skeleton, params = key

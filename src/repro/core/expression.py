@@ -20,8 +20,28 @@ The overall model is a linear combination of basis functions whose top-level
 weights are learned by least squares (see :mod:`repro.core.individual`), so
 those outer weights are *not* part of the trees.
 
-All nodes are mutable (the evolutionary operators edit cloned trees in
-place) and provide ``evaluate``, ``clone``, ``n_nodes``, ``depth`` and
+Architecture note -- structure sharing.  The node classes are plain mutable
+dataclasses, but the engine treats every tree that has entered a population
+as *effectively immutable*: variation operators never edit a live tree in
+place.  Under the default ``genome_backend="shared"`` setting
+(:mod:`repro.core.settings`) a child individual is built by *path copying*:
+only the spine from an edited slot up to its basis root is rebuilt
+(``O(depth)`` fresh nodes) and every untouched subtree is shared by
+reference with the parent (see :mod:`repro.core.operators`).  Because
+shared subtrees are final, derived data can be memoized directly on the
+nodes -- :func:`cached_structural_key`, :func:`cached_depth` and the
+compiled backend's cached skeletons flow from parent to child for free,
+which keeps the evaluation caches warm across generations.  The
+``genome_backend="deepcopy"`` setting keeps the original reference path
+(clone the whole parent, edit the clone in place); the two backends are
+fixed-seed bit-identical, and the reference path exists for exactly that
+equivalence test.  The freshness contract that makes on-node memoization
+safe: in-place edits only ever happen on freshly built, memo-free nodes
+*before* :func:`repro.core.compile.canonicalize_factors` finalizes them,
+never on a node that a population tree already references.
+
+All nodes provide ``evaluate``, ``clone`` (a full deep copy -- callers that
+want sharing simply reuse the node reference), ``n_nodes``, ``depth`` and
 ``render``.
 """
 
@@ -49,6 +69,8 @@ __all__ = [
     "iter_weights",
     "iter_variable_combos",
     "structural_key",
+    "cached_structural_key",
+    "cached_depth",
 ]
 
 
@@ -404,6 +426,82 @@ def structural_key(node: Union[ExpressionNode, Weight, VariableCombo,
         return ("lte", structural_key(node.test), structural_key(node.threshold),
                 structural_key(node.if_true), structural_key(node.if_false))
     raise TypeError(f"cannot compute a structural key for {type(node).__name__}")
+
+
+def cached_structural_key(node: Union[ExpressionNode, Weight, VariableCombo,
+                                      WeightedTerm]) -> Tuple:
+    """:func:`structural_key` memoized on the nodes themselves.
+
+    Safe only under the structure-sharing freshness contract (module
+    docstring): a node's memo is written the first time its key is asked
+    for, so callers must not query a node that will still be edited in
+    place.  The hot paths that use this -- ``canonicalize_factors``'s sort
+    keys, the evaluation backends' basis keys -- all run at or after
+    canonicalization, when the subtree is final.  :func:`structural_key`
+    itself stays memo-free for callers that inspect trees mid-edit.
+    """
+    key = getattr(node, "_structural_key", None)
+    if key is not None:
+        return key
+    if isinstance(node, Weight):
+        key = ("w", node.stored, node.exponent_bound)
+    elif isinstance(node, VariableCombo):
+        key = ("vc", node.exponents)
+    elif isinstance(node, WeightedTerm):
+        key = ("wt", cached_structural_key(node.weight),
+               cached_structural_key(node.term))
+    elif isinstance(node, ProductTerm):
+        vc_key = (cached_structural_key(node.vc)
+                  if node.vc is not None else None)
+        key = ("pt", vc_key, tuple(cached_structural_key(op)
+                                   for op in node.ops))
+    elif isinstance(node, WeightedSum):
+        key = ("ws", cached_structural_key(node.offset),
+               tuple(cached_structural_key(t) for t in node.terms))
+    elif isinstance(node, UnaryOpTerm):
+        key = ("op1", node.op.name, cached_structural_key(node.argument))
+    elif isinstance(node, BinaryOpTerm):
+        key = ("op2", node.op.name, cached_structural_key(node.left),
+               cached_structural_key(node.right))
+    elif isinstance(node, ConditionalOpTerm):
+        key = ("lte", cached_structural_key(node.test),
+               cached_structural_key(node.threshold),
+               cached_structural_key(node.if_true),
+               cached_structural_key(node.if_false))
+    else:
+        raise TypeError(
+            f"cannot compute a structural key for {type(node).__name__}")
+    node._structural_key = key
+    return key
+
+
+def cached_depth(node: ExpressionNode) -> int:
+    """``node.depth`` memoized on the nodes (same freshness contract as
+    :func:`cached_structural_key`); shared subtrees answer in O(1)."""
+    depth = getattr(node, "_depth", None)
+    if depth is not None:
+        return depth
+    if isinstance(node, ProductTerm):
+        depth = 1 if not node.ops else 1 + max(cached_depth(op)
+                                               for op in node.ops)
+    elif isinstance(node, WeightedSum):
+        depth = 1 if not node.terms else 1 + max(cached_depth(t.term)
+                                                 for t in node.terms)
+    elif isinstance(node, UnaryOpTerm):
+        depth = 1 + cached_depth(node.argument)
+    elif isinstance(node, BinaryOpTerm):
+        depth = 1 + max(1 if isinstance(arg, Weight) else cached_depth(arg)
+                        for arg in (node.left, node.right))
+    elif isinstance(node, ConditionalOpTerm):
+        parts = [cached_depth(node.test), cached_depth(node.if_true),
+                 cached_depth(node.if_false),
+                 1 if isinstance(node.threshold, Weight)
+                 else cached_depth(node.threshold)]
+        depth = 1 + max(parts)
+    else:
+        depth = node.depth
+    node._depth = depth
+    return depth
 
 
 # ----------------------------------------------------------------------

@@ -151,6 +151,10 @@ class ExpressionGenerator:
         # Fresh trees are born canonical: commutative factor lists are
         # sorted so order-variants of one product share a structural key
         # and a compiled kernel (see repro.core.compile.canonicalize_factors).
+        # Canonicalization also seeds the on-node structural-key memos that
+        # the shared-genome variation layer and the evaluation cache reuse;
+        # generated trees are never mutated in place afterwards (variation
+        # path-copies), so the memos stay valid for the tree's lifetime.
         canonicalize_factors(term)
         return term
 

@@ -97,6 +97,20 @@ class Individual:
         return Individual(bases=[b.clone() for b in self.bases],
                           generation_born=self.generation_born)
 
+    def shared_clone(self, bases: Optional[List[ProductTerm]] = None
+                     ) -> "Individual":
+        """Structure-sharing counterpart of :meth:`clone`.
+
+        Returns a fresh individual with reset evaluation results and a
+        *fresh bases list*, but the trees themselves are shared by
+        reference -- callers must treat them as immutable (the
+        ``genome_backend="shared"`` contract; see
+        :mod:`repro.core.expression`).  Pass ``bases`` to substitute a
+        ready-made list (already fresh, trees shared or new).
+        """
+        return Individual(bases=list(self.bases) if bases is None else bases,
+                          generation_born=self.generation_born)
+
     # ------------------------------------------------------------------
     def evaluate(self, X: np.ndarray, y: np.ndarray,
                  settings: CaffeineSettings) -> None:

@@ -5,6 +5,26 @@ complexity) and return a nondominated set of models.  The implementation
 here is generic over objective vectors: the engine supplies a list of
 individuals with an ``objectives`` tuple and receives the survivor selection
 and the tournament-based parent selection.
+
+Array-native core.  The engine-facing hot path works on rank/crowding
+*vectors* (:class:`RankedPopulation`) rather than per-individual wrapper
+objects, and :func:`select_and_rerank` derives the survivors' own
+rank/crowding arrays from the combined population's single nondominated
+sort -- one ``fast_nondominated_sort`` of ``2n`` points per generation
+replaces the previous ``n`` (rank) + ``2n`` (selection) sorts.  The
+derivation is exact, not approximate:
+
+* a survivor's rank among the survivors equals its rank in the combined
+  population (dominators of a front-``j`` member live in fronts ``< j``,
+  all of which are fully retained, and truncated-front members keep rank
+  ``k+1`` because the fronts below them survive intact);
+* crowding of a fully included front is unchanged (same member list, same
+  order), and only the one crowding-truncated front needs its crowding
+  recomputed on the kept subset.
+
+:func:`rank_population`, :func:`environmental_selection` and
+:func:`binary_tournament` keep their object-based signatures (they are
+public API, pinned by tests) and are thin views over the same kernels.
 """
 
 from __future__ import annotations
@@ -15,8 +35,10 @@ import numpy as np
 
 from repro.core.pareto import crowding_distances, fast_nondominated_sort
 
-__all__ = ["HasObjectives", "RankedIndividual", "rank_population",
-           "environmental_selection", "binary_tournament"]
+__all__ = ["HasObjectives", "RankedIndividual", "RankedPopulation",
+           "rank_population", "rank_population_arrays",
+           "environmental_selection", "select_and_rerank",
+           "binary_tournament", "tournament_winner"]
 
 
 class HasObjectives(Protocol):
@@ -47,6 +69,49 @@ class RankedIndividual:
         return self.crowding > other.crowding
 
 
+class RankedPopulation:
+    """A population with its NSGA-II rank/crowding as flat arrays.
+
+    ``individuals`` is the population list itself (identity is meaningful:
+    the engine uses ``ranked.individuals is engine.population`` to detect a
+    stale cache), ``ranks``/``crowding`` are parallel vectors.
+    """
+
+    __slots__ = ("individuals", "ranks", "crowding")
+
+    def __init__(self, individuals: Sequence[T], ranks: np.ndarray,
+                 crowding: np.ndarray) -> None:
+        self.individuals = individuals
+        self.ranks = ranks
+        self.crowding = crowding
+
+    def __len__(self) -> int:
+        return len(self.individuals)
+
+
+def _rank_arrays(vectors: List[Tuple[float, ...]],
+                 backend: Optional[str]) -> Tuple[np.ndarray, np.ndarray]:
+    """(ranks, crowding) vectors from one nondominated sort."""
+    n = len(vectors)
+    ranks = np.empty(n, dtype=np.intp)
+    crowding = np.empty(n, dtype=float)
+    for rank, front in enumerate(fast_nondominated_sort(vectors,
+                                                        backend=backend)):
+        front_crowding = crowding_distances([vectors[i] for i in front],
+                                            backend=backend)
+        ranks[front] = rank
+        crowding[front] = front_crowding
+    return ranks, crowding
+
+
+def rank_population_arrays(population: Sequence[T],
+                           backend: Optional[str] = None) -> RankedPopulation:
+    """Array-native :func:`rank_population` (one sort, no wrapper objects)."""
+    vectors = [tuple(ind.objectives) for ind in population]
+    ranks, crowding = _rank_arrays(vectors, backend)
+    return RankedPopulation(population, ranks, crowding)
+
+
 def rank_population(population: Sequence[T],
                     backend: Optional[str] = None) -> List[RankedIndividual]:
     """Assign nondomination rank and crowding distance to every individual.
@@ -56,21 +121,36 @@ def rank_population(population: Sequence[T],
     ``CaffeineSettings.pareto_backend`` through here.  Results are identical
     either way.
     """
-    vectors = [tuple(ind.objectives) for ind in population]
-    fronts = fast_nondominated_sort(vectors, backend=backend)
-    ranked: List[RankedIndividual] = [None] * len(population)  # type: ignore[list-item]
-    for rank, front in enumerate(fronts):
-        front_vectors = [vectors[i] for i in front]
-        crowding = crowding_distances(front_vectors, backend=backend)
-        for position, index in enumerate(front):
-            ranked[index] = RankedIndividual(population[index], rank,
-                                             crowding[position])
-    return ranked
+    ranked = rank_population_arrays(population, backend=backend)
+    return [RankedIndividual(individual, int(rank), float(crowding))
+            for individual, rank, crowding
+            in zip(population, ranked.ranks, ranked.crowding)]
+
+
+def _truncation_order(crowding: Sequence[float]) -> Sequence[int]:
+    """Indices of a partial front in survival order: descending crowding,
+    ties kept in front (ascending-index) order.
+
+    The tie-break is pinned behavior: it must equal the stable
+    ``sorted(range(n), key=crowding.__getitem__, reverse=True)`` -- Python's
+    ``reverse=True`` preserves the original relative order of equal keys,
+    and so does a stable argsort of the negated values (NaN-free by the
+    :mod:`repro.core.pareto` contract; ``inf`` boundary crowding is fine).
+    """
+    return np.argsort(-np.asarray(crowding, dtype=float), kind="stable")
 
 
 def environmental_selection(population: Sequence[T], target_size: int,
                             backend: Optional[str] = None) -> List[T]:
-    """NSGA-II survivor selection: fill by fronts, truncate by crowding."""
+    """NSGA-II survivor selection: fill by fronts, truncate by crowding.
+
+    Within the one partially included front, survivors are the
+    ``target_size - len(already_kept)`` members of largest crowding
+    distance; on equal crowding the member earlier in the front (i.e. of
+    smaller population index, since fronts are ascending) wins -- the
+    stable-sort tie-break pinned by :func:`_truncation_order` and the
+    regression tests.
+    """
     if target_size < 1:
         raise ValueError("target_size must be >= 1")
     vectors = [tuple(ind.objectives) for ind in population]
@@ -85,11 +165,80 @@ def environmental_selection(population: Sequence[T], target_size: int,
         # Partial front: keep the most spread-out individuals.
         front_vectors = [vectors[i] for i in front]
         crowding = crowding_distances(front_vectors, backend=backend)
-        order = sorted(range(len(front)), key=lambda k: crowding[k], reverse=True)
+        order = _truncation_order(crowding)
         remaining = target_size - len(survivors)
         survivors.extend(population[front[k]] for k in order[:remaining])
         break
     return survivors
+
+
+def select_and_rerank(population: Sequence[T], target_size: int,
+                      backend: Optional[str] = None
+                      ) -> Tuple[List[T], RankedPopulation]:
+    """Environmental selection plus the survivors' rank/crowding arrays.
+
+    Behaviorally ``(environmental_selection(population, target_size),
+    rank_population_arrays(survivors))``, but from a *single*
+    ``fast_nondominated_sort`` of the combined population (see module
+    docstring for why the derivation is exact).  The engine calls this once
+    per generation; the returned :class:`RankedPopulation` seeds the next
+    generation's tournaments with no extra sort.
+    """
+    if target_size < 1:
+        raise ValueError("target_size must be >= 1")
+    vectors = [tuple(ind.objectives) for ind in population]
+    fronts = fast_nondominated_sort(vectors, backend=backend)
+    survivors: List[T] = []
+    ranks: List[int] = []
+    crowding_parts: List[float] = []
+    for rank, front in enumerate(fronts):
+        if len(survivors) + len(front) <= target_size:
+            front_crowding = crowding_distances([vectors[i] for i in front],
+                                                backend=backend)
+            survivors.extend(population[i] for i in front)
+            ranks.extend([rank] * len(front))
+            crowding_parts.extend(front_crowding)
+            if len(survivors) == target_size:
+                break
+            continue
+        front_vectors = [vectors[i] for i in front]
+        front_crowding = crowding_distances(front_vectors, backend=backend)
+        order = _truncation_order(front_crowding)
+        remaining = target_size - len(survivors)
+        kept = [front[k] for k in order[:remaining]]
+        survivors.extend(population[i] for i in kept)
+        ranks.extend([rank] * remaining)
+        # Among the survivors this front's member list changed, so its
+        # crowding must be recomputed on the kept subset (in survivor
+        # order); every fully included front keeps its combined-population
+        # crowding unchanged.
+        crowding_parts.extend(crowding_distances([vectors[i] for i in kept],
+                                                 backend=backend))
+        break
+    ranked = RankedPopulation(survivors,
+                              np.asarray(ranks, dtype=np.intp),
+                              np.asarray(crowding_parts, dtype=float))
+    return survivors, ranked
+
+
+def tournament_winner(ranked: RankedPopulation, first_index: int,
+                      second_draw: int) -> int:
+    """Index of the crowded-comparison winner between ``first_index`` and
+    the ``second_draw``-th of the other ``n - 1`` positions.
+
+    ``second_draw`` is a draw from ``[0, n - 1)``; mapping it around
+    ``first_index`` reproduces :func:`binary_tournament`'s distinct-pair
+    sampling exactly, so the engine can batch its four index draws per
+    offspring into one ``rng.integers`` call without changing the stream.
+    """
+    second_index = second_draw + (second_draw >= first_index)
+    ranks = ranked.ranks
+    if ranks[first_index] != ranks[second_index]:
+        return (first_index if ranks[first_index] < ranks[second_index]
+                else second_index)
+    crowding = ranked.crowding
+    return (first_index if crowding[first_index] > crowding[second_index]
+            else second_index)
 
 
 def binary_tournament(ranked: Sequence[RankedIndividual],

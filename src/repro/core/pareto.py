@@ -126,8 +126,41 @@ def _nondominated_indices_numpy(
         objective_vectors: Sequence[Sequence[float]]) -> List[int]:
     if len(objective_vectors) == 0:
         return []
-    matrix = _domination_matrix(_objective_array(objective_vectors))
+    vectors = _objective_array(objective_vectors)
+    if vectors.shape[1] == 2:
+        return _nondominated_indices_two_objective(vectors)
+    matrix = _domination_matrix(vectors)
     return [int(i) for i in np.flatnonzero(matrix.sum(axis=0) == 0)]
+
+
+def _nondominated_indices_two_objective(vectors: np.ndarray) -> List[int]:
+    """O(n log n) sweep for the two-objective (error, complexity) case.
+
+    After a lexicographic sort by ``(o1, o2)``, every possible dominator of
+    a point precedes it, so one pass tracking the running minimum of ``o2``
+    (and, among points attaining it, the minimum ``o1`` -- needed to tell a
+    duplicate point, which does not dominate, from a strictly better one)
+    decides domination for each point in O(1).
+    """
+    o1 = vectors[:, 0]
+    o2 = vectors[:, 1]
+    order = np.lexsort((o2, o1))
+    min_o2 = np.inf
+    min_o2_o1 = np.inf
+    keep: List[int] = []
+    for idx in order:
+        x = float(o1[idx])
+        y = float(o2[idx])
+        dominated = min_o2 < y or (min_o2 == y and min_o2_o1 < x)
+        if not dominated:
+            keep.append(int(idx))
+        if y < min_o2:
+            min_o2 = y
+            min_o2_o1 = x
+        elif y == min_o2 and x < min_o2_o1:
+            min_o2_o1 = x
+    keep.sort()
+    return keep
 
 
 def nondominated_indices(objective_vectors: Sequence[Sequence[float]],
@@ -184,12 +217,60 @@ def _fast_nondominated_sort_python(
     return fronts
 
 
+def _fast_nondominated_sort_two_objective(
+        vectors: np.ndarray) -> List[List[int]]:
+    """O(n log n) full front assignment for the two-objective case.
+
+    Points are processed in lexicographic ``(o1, o2)`` order, so every
+    dominator of a point is already assigned when the point is reached.  A
+    front dominates the current point iff the front's minimum ``o2`` beats
+    the point's (or ties it with a strictly smaller ``o1`` -- the duplicate
+    vs. strictly-better distinction); because every front-``f+1`` member is
+    dominated by a front-``f`` member, the predicate is monotone in the
+    front index and the point's front is found by binary search.  Matches
+    the peeling implementation exactly: same membership, and fronts are
+    emitted as ascending index lists.
+    """
+    o1 = vectors[:, 0]
+    o2 = vectors[:, 1]
+    order = np.lexsort((o2, o1))
+    assignment = np.empty(vectors.shape[0], dtype=np.intp)
+    front_min_o2: List[float] = []
+    front_min_o2_o1: List[float] = []
+    for idx in order:
+        x = float(o1[idx])
+        y = float(o2[idx])
+        low, high = 0, len(front_min_o2)
+        while low < high:
+            mid = (low + high) // 2
+            m2 = front_min_o2[mid]
+            if m2 < y or (m2 == y and front_min_o2_o1[mid] < x):
+                low = mid + 1  # front ``mid`` dominates the point
+            else:
+                high = mid
+        assignment[idx] = low
+        if low == len(front_min_o2):
+            front_min_o2.append(y)
+            front_min_o2_o1.append(x)
+        elif y < front_min_o2[low]:
+            front_min_o2[low] = y
+            front_min_o2_o1[low] = x
+        elif y == front_min_o2[low] and x < front_min_o2_o1[low]:
+            front_min_o2_o1[low] = x
+    fronts: List[List[int]] = [[] for _ in range(len(front_min_o2))]
+    for i, f in enumerate(assignment):
+        fronts[f].append(int(i))
+    return fronts
+
+
 def _fast_nondominated_sort_numpy(
         objective_vectors: Sequence[Sequence[float]]) -> List[List[int]]:
     if len(objective_vectors) == 0:
         return []
     vectors = _objective_array(objective_vectors)
     n = vectors.shape[0]
+    if vectors.shape[1] == 2:
+        return _fast_nondominated_sort_two_objective(vectors)
     matrix = _domination_matrix(vectors)
     counts = matrix.sum(axis=0).astype(np.int64)
     unassigned = np.ones(n, dtype=bool)

@@ -149,6 +149,18 @@ class CaffeineSettings:
     #: enforced by property tests), so this knob only trades Python/NumPy
     #: call overhead for memory.
     residual_backend: str = "batched"
+    #: how variation operators build children from parents: ``"shared"``
+    #: (default) path-copies -- a child rebuilds only the spine from each
+    #: edited slot to its basis root and shares every untouched subtree
+    #: with its parents, so cached structural keys/skeletons/columns flow
+    #: through for free; ``"deepcopy"`` is the original reference path
+    #: (clone the whole parent, edit the clone in place), kept for
+    #: equivalence testing.  Both are fixed-seed bit-identical (gated by
+    #: the ``genome_shared_vs_deepcopy`` equivalence key in CI).  Unlike
+    #: the ``*_backend`` knobs above this is a closed two-way switch, not
+    #: a registry: the set of genome representations is a property of the
+    #: operator layer, not a pluggable computation strategy.
+    genome_backend: str = "shared"
     #: maximum number of compiled tapes the ``"compiled"`` column backend
     #: retains, keyed by weight-free tree skeleton.  The class default is a
     #: size-adaptive floor (:meth:`resolved_kernel_cache_size`) so large
@@ -216,6 +228,10 @@ class CaffeineSettings:
             raise ValueError("gram_pool_size must be non-negative")
         self._validate_backend("pareto", self.pareto_backend)
         self._validate_backend("residual", self.residual_backend)
+        if self.genome_backend not in ("shared", "deepcopy"):
+            raise ValueError(
+                "genome_backend must be 'shared' or 'deepcopy', "
+                f"got {self.genome_backend!r}")
         if self.kernel_cache_size < 0:
             raise ValueError("kernel_cache_size must be non-negative")
 

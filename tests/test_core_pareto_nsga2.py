@@ -12,6 +12,9 @@ from repro.core.nsga2 import (
     binary_tournament,
     environmental_selection,
     rank_population,
+    rank_population_arrays,
+    select_and_rerank,
+    tournament_winner,
 )
 from repro.core.pareto import (
     crowding_distances,
@@ -213,3 +216,120 @@ class TestNsga2Selection:
         second = environmental_selection(front, 5)
         assert [p.objectives for p in first] == [p.objectives for p in second]
         assert len(first) == 5
+
+    def test_partial_front_tie_break_keeps_earlier_front_members(self):
+        """The crowding-truncation tie-break is pinned behavior: on equal
+        crowding, the member earlier in the front (smaller population index)
+        survives, and survivors are emitted in descending-crowding order.
+
+        Five equally spaced colinear points form one front whose three
+        interior members all carry crowding 1.0; truncating to four must keep
+        both infinite-crowding boundary points first, then the two earliest
+        interior members -- never the last one."""
+        front = [Point((float(i), float(4 - i))) for i in range(5)]
+        survivors = environmental_selection(front, 4)
+        assert survivors == [front[0], front[4], front[1], front[2]]
+
+
+class TestArrayNativeSelection:
+    """select_and_rerank / rank_population_arrays vs. the object-based API."""
+
+    def _random_population(self, rng, n):
+        vectors = rng.integers(0, 8, size=(n, 2)).astype(float)
+        # A few infeasible (infinite-error) members, like the engine produces.
+        for i in range(0, n, 7):
+            vectors[i, 0] = np.inf
+        return [Point((float(a), float(b))) for a, b in vectors]
+
+    def test_rank_population_arrays_matches_objects(self):
+        rng = np.random.default_rng(11)
+        population = self._random_population(rng, 40)
+        ranked_objects = rank_population(population)
+        ranked_arrays = rank_population_arrays(population)
+        assert ranked_arrays.individuals is population
+        assert [int(r) for r in ranked_arrays.ranks] == \
+            [r.rank for r in ranked_objects]
+        assert [float(c) for c in ranked_arrays.crowding] == \
+            [r.crowding for r in ranked_objects]
+
+    def test_select_and_rerank_matches_two_pass_reference(self):
+        """One combined-population sort must reproduce, exactly, the
+        reference sequence `environmental_selection` then a fresh
+        `rank_population_arrays` of the survivors -- same survivor list
+        (identity and order), bit-equal ranks and crowding."""
+        rng = np.random.default_rng(7)
+        for trial in range(20):
+            n = int(rng.integers(4, 60))
+            target = int(rng.integers(1, n))
+            population = self._random_population(rng, n)
+            survivors, ranked = select_and_rerank(population, target)
+            reference = environmental_selection(population, target)
+            assert len(survivors) == target
+            assert all(a is b for a, b in zip(survivors, reference))
+            rereference = rank_population_arrays(survivors)
+            assert list(ranked.ranks) == list(rereference.ranks)
+            assert list(ranked.crowding) == list(rereference.crowding)
+
+    def test_select_and_rerank_invalid_size(self):
+        with pytest.raises(ValueError):
+            select_and_rerank([Point((1.0, 1.0))], 0)
+
+    def test_tournament_winner_matches_crowded_comparison(self):
+        """tournament_winner's (first_index, second_draw) encoding maps the
+        second draw around the first index (distinct-pair sampling) and
+        applies the same crowded-comparison as RankedIndividual.beats."""
+        rng = np.random.default_rng(3)
+        population = self._random_population(rng, 12)
+        ranked_objects = rank_population(population)
+        ranked_arrays = rank_population_arrays(population)
+        n = len(population)
+        for first in range(n):
+            for draw in range(n - 1):
+                second = draw + (draw >= first)
+                assert second != first
+                winner = tournament_winner(ranked_arrays, first, draw)
+                expected = (first if ranked_objects[first].beats(
+                    ranked_objects[second]) else second)
+                assert winner == expected
+
+
+class TestTwoObjectiveSweep:
+    """The numpy backend's O(n log n) two-objective fast paths agree with
+    the pure-Python oracle on adversarial inputs (duplicates, infs, ties)."""
+
+    def _adversarial_vectors(self, rng, n):
+        vectors = rng.integers(0, 6, size=(n, 2)).astype(float)
+        vectors[rng.random(n) < 0.1, 0] = np.inf
+        vectors[rng.random(n) < 0.1, 1] = np.inf
+        return [tuple(v) for v in vectors]
+
+    def test_sort_agrees_with_python_oracle(self):
+        rng = np.random.default_rng(42)
+        for n in (1, 2, 3, 17, 120):
+            vectors = self._adversarial_vectors(rng, n)
+            assert fast_nondominated_sort(vectors, backend="numpy") == \
+                fast_nondominated_sort(vectors, backend="python")
+
+    def test_indices_agree_with_python_oracle(self):
+        rng = np.random.default_rng(43)
+        for n in (1, 2, 3, 17, 120):
+            vectors = self._adversarial_vectors(rng, n)
+            assert nondominated_indices(vectors, backend="numpy") == \
+                nondominated_indices(vectors, backend="python")
+
+    def test_three_objectives_still_agree(self):
+        """>2 objectives take the domination-matrix path -- keep it covered."""
+        rng = np.random.default_rng(44)
+        vectors = [tuple(v) for v in
+                   rng.integers(0, 4, size=(50, 3)).astype(float)]
+        assert fast_nondominated_sort(vectors, backend="numpy") == \
+            fast_nondominated_sort(vectors, backend="python")
+        assert nondominated_indices(vectors, backend="numpy") == \
+            nondominated_indices(vectors, backend="python")
+
+    def test_all_duplicates_single_front(self):
+        vectors = [(2.0, 2.0)] * 6
+        assert fast_nondominated_sort(vectors, backend="numpy") == \
+            [[0, 1, 2, 3, 4, 5]]
+        assert nondominated_indices(vectors, backend="numpy") == \
+            [0, 1, 2, 3, 4, 5]
