@@ -48,6 +48,22 @@ one shared column cache:
     >>> outcome["t1"].n_models >= 1
     True
 
+Long sweeps are crash-safe and fault-tolerant: ``Session(...,
+checkpoint_path="sweep.ckpt")`` snapshots every run's generation
+boundaries (and final results) to a
+:class:`~repro.core.cache_store.RunCheckpointStore`, so after a crash or
+Ctrl-C ``session.resume()`` skips finished problems and continues
+interrupted ones **bit-identically** from their last snapshot.  With
+``jobs > 1`` a crashed, hung or raising worker is contained to its
+problem -- retried with backoff, degraded to in-process execution, and
+finally recorded as a structured
+:class:`~repro.core.session.ProblemFailure` in
+``SessionResult.failures`` while every other problem's result is
+returned.  The fault-injection harness behind those guarantees lives in
+:mod:`repro.core.faults` (``REPRO_FAULTS`` environment variable or
+``CaffeineSettings.fault_injection``); see ``benchmarks/README.md`` for
+the checkpoint/resume semantics and failure knobs.
+
 The legacy one-call entry point :func:`run_caffeine` remains supported as
 a bit-for-bit shim over the Session path; see the migration table in
 ``benchmarks/README.md``.  New column/fit/pareto/evaluation backends
@@ -66,9 +82,12 @@ from repro.core import (
     ColumnCacheStore,
     FileLock,
     GramPool,
+    InjectedFault,
     PopulationEvaluator,
     Problem,
+    ProblemFailure,
     ProgressPrinter,
+    RunCheckpointStore,
     Session,
     SessionCallback,
     SessionResult,
@@ -99,7 +118,9 @@ __all__ = [
     "Session",
     "SessionCallback",
     "SessionResult",
+    "ProblemFailure",
     "ProgressPrinter",
+    "InjectedFault",
     "SymbolicRegressor",
     # backend registries
     "BACKEND_KINDS",
@@ -120,6 +141,7 @@ __all__ = [
     "PopulationEvaluator",
     "BasisColumnCache",
     "ColumnCacheStore",
+    "RunCheckpointStore",
     "FileLock",
     "GramPool",
     "TreeCompiler",

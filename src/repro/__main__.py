@@ -72,6 +72,26 @@ def _cache_parser() -> argparse.ArgumentParser:
     return parent
 
 
+def _checkpoint_parser() -> argparse.ArgumentParser:
+    """Crash-safety options (a subparser parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("crash safety")
+    group.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="snapshot every run's generation boundaries (and final "
+             "results) to a checkpoint store at PATH, making the sweep "
+             "crash-safe (never changes the models)")
+    group.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="snapshot every N generations (default: 1)")
+    group.add_argument(
+        "--resume", action="store_true",
+        help="warm-restart from --checkpoint: finished runs return their "
+             "stored results, interrupted runs continue bit-identically "
+             "from their last snapshot")
+    return parent
+
+
 def _jobs_parser() -> argparse.ArgumentParser:
     """The process-pool option -- only for multi-run sweep subcommands."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -98,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "experiments, or model any CSV dataset.")
     budget = _budget_parser()
     cache = _cache_parser()
+    checkpoint = _checkpoint_parser()
     jobs = _jobs_parser()
     ota = _ota_parser()
     subparsers = parser.add_subparsers(dest="command", required=True,
@@ -113,12 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
             ("table1", "simplest models under 10%% train+test error"),
             ("figure4", "CAFFEINE vs posynomial comparison"),
     ):
-        sub = subparsers.add_parser(name, parents=[budget, cache, jobs, ota],
+        sub = subparsers.add_parser(name,
+                                    parents=[budget, cache, checkpoint,
+                                             jobs, ota],
                                     help=help_text)
         sub.add_argument("--targets", nargs="*", default=None,
                          help="performance goals (default: all six)")
     ablation = subparsers.add_parser(
-        "ablation", parents=[budget, cache, jobs, ota],
+        "ablation", parents=[budget, cache, checkpoint, jobs, ota],
         help="grammar/objective ablation study")
     ablation.add_argument("--target", default="PM",
                           help="single performance (default: PM)")
@@ -129,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="single performance (default: PM)")
 
     run = subparsers.add_parser(
-        "run", parents=[budget, cache],
+        "run", parents=[budget, cache, checkpoint],
         help="model a CSV dataset (header row; Pareto table out)")
     run.add_argument("csv", help="training data: a header-row CSV file")
     run.add_argument("--target", required=True,
@@ -170,8 +193,10 @@ def _run_csv_command(args: argparse.Namespace) -> int:
     callbacks = [ProgressPrinter()] if args.progress else []
     session = Session([problem], settings=settings,
                       column_cache_path=args.column_cache,
-                      callbacks=callbacks)
-    result = session.run().single()
+                      callbacks=callbacks,
+                      checkpoint_path=args.checkpoint,
+                      checkpoint_every=args.checkpoint_every)
+    result = session.run(resume=args.resume).single()
     print(tradeoff_table(
         result.tradeoff,
         title=f"{problem.name}: error/complexity trade-off "
@@ -203,25 +228,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"{settings.n_generations} generations, seed {settings.random_seed}"
           + (f", {jobs} jobs" if jobs > 1 else "") + "\n")
 
+    checkpoint = getattr(args, "checkpoint", None)  # table2 has no sweep
+    resume = getattr(args, "resume", False)
     if args.command == "figure3":
         print(run_figure3(datasets, settings, targets=args.targets,
                           column_cache_path=args.column_cache,
-                          jobs=jobs).render())
+                          jobs=jobs, checkpoint_path=checkpoint,
+                          resume=resume).render())
     elif args.command == "table1":
         print(run_table1(datasets, settings, targets=args.targets,
                          column_cache_path=args.column_cache,
-                         jobs=jobs).render())
+                         jobs=jobs, checkpoint_path=checkpoint,
+                         resume=resume).render())
     elif args.command == "table2":
         print(run_table2(datasets, settings, target=args.target,
                          column_cache_path=args.column_cache).render())
     elif args.command == "figure4":
         print(run_figure4(datasets, settings, targets=args.targets,
                           column_cache_path=args.column_cache,
-                          jobs=jobs).render())
+                          jobs=jobs, checkpoint_path=checkpoint,
+                          resume=resume).render())
     elif args.command == "ablation":
         print(run_ablation(datasets, settings, target=args.target,
                            column_cache_path=args.column_cache,
-                           jobs=jobs).render())
+                           jobs=jobs, checkpoint_path=checkpoint,
+                           resume=resume).render())
     return 0
 
 

@@ -4,7 +4,12 @@ The public surface of the core package:
 
 * :class:`~repro.core.problem.Problem` / :class:`~repro.core.session.Session`
   -- package modeling tasks and orchestrate many of them (serially or on a
-  process pool) over one shared, optionally persistent column cache;
+  process pool) over one shared, optionally persistent column cache, with
+  crash-safe checkpoint/resume (``checkpoint_path`` +
+  :meth:`~repro.core.session.Session.resume`, bit-identical restarts) and
+  fault tolerance (per-problem timeouts/retries, worker-crash containment,
+  partial results with structured
+  :class:`~repro.core.session.ProblemFailure` records);
 * :class:`~repro.core.engine.CaffeineEngine` -- one run's evolutionary
   loop (:func:`~repro.core.engine.run_caffeine` is the legacy one-call
   shim over a one-problem session);
@@ -21,7 +26,12 @@ The public surface of the core package:
   the search.
 """
 
-from repro.core.cache_store import ColumnCacheStore, FileLock
+from repro.core.cache_store import (
+    ColumnCacheStore,
+    FileLock,
+    RunCheckpointStore,
+)
+from repro.core.faults import InjectedFault
 from repro.core.compile import (
     CompilationError,
     CompiledKernel,
@@ -91,6 +101,7 @@ from repro.core.registry import (
 )
 from repro.core.session import (
     LegacyProgressCallback,
+    ProblemFailure,
     ProgressPrinter,
     Session,
     SessionCallback,
@@ -111,8 +122,10 @@ __all__ = [
     "Session",
     "SessionCallback",
     "SessionResult",
+    "ProblemFailure",
     "ProgressPrinter",
     "LegacyProgressCallback",
+    "InjectedFault",
     "BACKEND_KINDS",
     "BackendRegistry",
     "available_backends",
@@ -133,6 +146,7 @@ __all__ = [
     "GramPool",
     "dataset_fingerprint",
     "ColumnCacheStore",
+    "RunCheckpointStore",
     "TreeCompiler",
     "CompiledKernel",
     "CompilationError",

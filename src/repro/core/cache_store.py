@@ -1,43 +1,43 @@
-"""Disk persistence for the fingerprinted basis-column cache.
+"""Disk persistence: the versioned/checksummed store envelope and its users.
 
-A :class:`~repro.core.evaluation.BasisColumnCache` holds evaluated basis
-columns keyed by ``(dataset key, basis key)``, where the dataset key is the
-``(dataset fingerprint, function-set fingerprint)`` pair and the basis key
-is the tree's exact evaluation-recipe identity (a structural key, or a
-``(skeleton, params)`` pair under the compiled column backend).  Those keys
-are already *globally* unambiguous -- same key, same column, whatever run
-produced it -- which is what makes the cache safe to persist and reload:
+Two kinds of run state persist across processes, both through one shared
+on-disk envelope (:class:`_VersionedFileStore`):
 
-* :meth:`ColumnCacheStore.save` writes a cache's entries to one file
-  (atomically, via a temp file + ``os.replace``) with a versioned header
-  and a payload checksum, merging with whatever the file already holds so
-  one run can never erase another run's namespaces;
-* :meth:`ColumnCacheStore.load_into` merges a file's entries into a live
-  cache.  Entries for other datasets or function sets ride along harmlessly
-  (their key prefix can never match a different run's lookups; pass
-  ``dataset_key`` to keep them out of the LRU entirely), and any kind of
-  damage -- missing file, truncation, corruption, a foreign or future
-  format version -- degrades to a cold start with a warning rather than an
-  error.
+* :class:`ColumnCacheStore` -- evaluated basis columns of a
+  :class:`~repro.core.evaluation.BasisColumnCache`, keyed by
+  ``(dataset key, basis key)``.  Those keys are *globally* unambiguous --
+  same key, same column, whatever run produced it -- which is what makes
+  the cache safe to persist, merge and reload across sweeps.
+* :class:`RunCheckpointStore` -- crash-safe generation snapshots of a
+  running :class:`~repro.core.engine.CaffeineEngine` (RNG state,
+  population, rank arrays, history), one named slot per problem, written
+  periodically so an interrupted run warm-restarts **bit-identically**
+  instead of starting over (see ``CaffeineEngine.run`` and
+  ``Session.resume``).
 
-Repeated experiment sweeps (the figure/table drivers, benchmark runs, CI)
-can therefore start *warm*: ``run_caffeine(column_cache_path=...)`` and the
-drivers' ``column_cache_path`` arguments wire a store through the existing
-shared-cache machinery, so the first run of a sweep pays for the columns
-and every later run -- even in a fresh process -- reuses them.
+The envelope gives both the same durability properties:
 
-Concurrent writers are safe: :meth:`ColumnCacheStore.save` runs its whole
-read-merge-write cycle under an advisory :class:`FileLock` on a sidecar
-``<path>.lock`` file, so two processes saving to the same path serialize
-and the second merges over the first instead of overwriting it (the
-last-writer-wins hazard of the unlocked protocol).  Loads need no lock --
-the atomic ``os.replace`` write means a reader always sees a complete
-file, before or after any concurrent save.
+* **atomic writes** -- a temp file in the target directory plus
+  ``os.replace``, so a crash (even ``SIGKILL``) mid-save leaves the
+  previous file version readable, never a torn one;
+* **corruption detection** -- a magic string, a format version and a
+  SHA-256 payload checksum; any damage (truncation, torn bytes, an
+  undecodable pickle) degrades to a cold start with a warning rather than
+  an error, and the damaged file is **quarantined** (renamed to
+  ``<path>.corrupt-<n>``) so the next run does not trip over -- or
+  silently keep cold-starting over -- the same bad bytes.  Files that are
+  *valid but foreign* (wrong magic: probably a wrong path; a future format
+  version: probably a newer build's good file) are left in place;
+* **merge-under-lock writers** -- the whole read-merge-write cycle runs
+  under an advisory :class:`FileLock` on a sidecar ``<path>.lock``, so two
+  processes saving the same path serialize and the second merges over the
+  first instead of overwriting it.  Loads need no lock: the atomic replace
+  means a reader always sees a complete file, before or after any
+  concurrent save.
 
-The format is a pickle of pure-data keys plus float arrays, guarded by a
-magic string, a format version and a SHA-256 checksum.  Like any pickle,
-the file is *trusted local state*, not an interchange format: load caches
-only from paths you (or your CI job) wrote.
+The format is a pickle of pure-data keys plus float arrays, guarded by the
+header above.  Like any pickle, the files are *trusted local state*, not an
+interchange format: load only from paths you (or your CI job) wrote.
 """
 
 from __future__ import annotations
@@ -49,10 +49,11 @@ import tempfile
 import time
 import warnings
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core import faults
 from repro.core.evaluation import BasisColumnCache
 
 try:  # POSIX (Linux/macOS): kernel-released advisory locks
@@ -60,7 +61,7 @@ try:  # POSIX (Linux/macOS): kernel-released advisory locks
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
-__all__ = ["FileLock", "ColumnCacheStore"]
+__all__ = ["FileLock", "ColumnCacheStore", "RunCheckpointStore"]
 
 
 class FileLock:
@@ -106,6 +107,7 @@ class FileLock:
         Reentrant for the holding thread; other threads (and other
         processes) block until the holder fully releases.
         """
+        faults.timeout_point("lock.timeout", path=str(self.path))
         start = time.monotonic()
         acquired = self._thread_lock.acquire(
             timeout=-1 if self.timeout is None else self.timeout)
@@ -181,9 +183,13 @@ class FileLock:
                         if error.errno not in contended:
                             raise
                         if time.monotonic() >= deadline:
+                            # Report the budget actually waited here: the
+                            # configured self.timeout may have been partly
+                            # spent on the thread lock in acquire().
                             raise TimeoutError(
                                 f"could not lock {self.path} within "
-                                f"{self.timeout} s") from None
+                                f"{timeout:.3g} s (of a {self.timeout} s "
+                                f"budget)") from None
                         time.sleep(self.poll_interval)
         except BaseException:
             os.close(handle)
@@ -219,18 +225,142 @@ class FileLock:
                 if deadline is not None and time.monotonic() >= deadline:
                     raise TimeoutError(
                         f"could not lock {self.path} within "
-                        f"{self.timeout} s") from None
+                        f"{timeout:.3g} s (of a {self.timeout} s "
+                        f"budget)") from None
                 time.sleep(self.poll_interval)
 
 
-class ColumnCacheStore:
+class _VersionedFileStore:
+    """The shared envelope: atomic, checksummed, lock-merged file persistence.
+
+    Subclasses set :attr:`MAGIC`, :attr:`FORMAT_VERSION` and :attr:`KIND`
+    (the human-readable noun used in warnings) and talk to the disk only
+    through :meth:`_write_document` / :meth:`_read_document`, inheriting
+    the atomic-replace write, the header + checksum validation, the
+    damage-quarantine policy and the advisory save lock.
+    """
+
+    MAGIC: bytes = b""
+    FORMAT_VERSION: int = 1
+    KIND: str = "store"
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = Path(path)
+        #: advisory lock guarding the save protocol's read-merge-write
+        self.lock = FileLock(str(self.path) + ".lock")
+
+    # ------------------------------------------------------------------
+    def _write_document(self, document: dict) -> None:
+        """Atomically replace the file with ``document`` (header + payload).
+
+        Callers hold :attr:`lock` around their read-merge-write cycle; the
+        write itself is atomic regardless (temp file in the target
+        directory, then ``os.replace``), so a crash -- even a ``SIGKILL``
+        -- between any two instructions here leaves the previous file
+        version (or no file), never a torn one.
+        """
+        payload = pickle.dumps(document, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        header = b"%s\n%d\n%s\n" % (self.MAGIC, self.FORMAT_VERSION, digest)
+        fd, temp_name = tempfile.mkstemp(dir=str(self.path.parent),
+                                         prefix=self.path.name + ".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(header)
+                handle.write(payload)
+            faults.kill_point("store.kill-mid-save", path=str(self.path))
+            os.replace(temp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        faults.corrupt_file_point("store.corrupt", self.path)
+
+    # ------------------------------------------------------------------
+    def _read_document(self) -> Optional[dict]:
+        """The stored document, or None for any unreadable/invalid file.
+
+        Damage that proves the file's *bytes* are broken -- a truncated
+        header, a checksum mismatch, an undecodable or malformed payload --
+        quarantines the file (rename to ``<path>.corrupt-<n>``) so later
+        runs start genuinely cold instead of re-tripping over it; the
+        warning names the quarantine path.  A *foreign* file (wrong magic:
+        likely a mis-pointed path; a future format version: likely a newer
+        build's perfectly good file) is warned about but left alone.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return None  # a cold start, not a problem
+        except OSError as error:
+            self._warn(f"unreadable ({error})")
+            return None
+        try:
+            magic, version_text, digest, payload = raw.split(b"\n", 3)
+        except ValueError:
+            self._warn("truncated header", quarantine=True)
+            return None
+        if magic != self.MAGIC:
+            self._warn(f"not a {self.KIND} file (bad magic)")
+            return None
+        if version_text != b"%d" % self.FORMAT_VERSION:
+            self._warn(f"unsupported format version {version_text!r} "
+                       f"(this build reads version {self.FORMAT_VERSION})")
+            return None
+        if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+            self._warn("checksum mismatch (truncated or corrupted)",
+                       quarantine=True)
+            return None
+        try:
+            document = pickle.loads(payload)
+        except Exception as error:  # damaged pickle, wrong schema, ...
+            self._warn(f"undecodable payload ({type(error).__name__}: "
+                       f"{error})", quarantine=True)
+            return None
+        if not isinstance(document, dict):
+            self._warn("malformed payload (document is not a mapping)",
+                       quarantine=True)
+            return None
+        return document
+
+    def _quarantine(self) -> Optional[Path]:
+        """Rename the (damaged) file out of the way; returns the new path."""
+        for n in range(10000):
+            candidate = Path(f"{self.path}.corrupt-{n}")
+            if candidate.exists():
+                continue
+            try:
+                os.rename(self.path, candidate)
+            except OSError:
+                return None  # racing reader already moved it, or read-only
+            return candidate
+        return None  # pragma: no cover - 10000 corrupt siblings
+
+    def _warn(self, reason: str, quarantine: bool = False) -> None:
+        suffix = "; starting cold"
+        if quarantine:
+            moved = self._quarantine()
+            if moved is not None:
+                suffix += f" (damaged file quarantined to {moved})"
+        warnings.warn(
+            f"ignoring {self.KIND} file {self.path}: {reason}{suffix}",
+            RuntimeWarning, stacklevel=5)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({str(self.path)!r})"
+
+
+class ColumnCacheStore(_VersionedFileStore):
     """Save/load a :class:`BasisColumnCache` to/from one file.
 
     The store is bound to a path; :meth:`save` and :meth:`load_into` are the
     whole protocol.  A missing file is a normal cold start (no warning);
     anything unreadable -- truncated, corrupted, wrong magic, unknown
-    version -- is reported as a warning and treated as empty, so a damaged
-    cache file can never break a run, only un-warm it.
+    version -- is reported as a warning and treated as empty (with broken
+    bytes quarantined, see :meth:`_VersionedFileStore._read_document`), so
+    a damaged cache file can never break a run, only un-warm it.
 
     Saves serialize through an advisory :class:`FileLock` on the sidecar
     ``<path>.lock``: concurrent sweeps writing the same store merge instead
@@ -243,11 +373,7 @@ class ColumnCacheStore:
     #: file magic; changing the on-disk layout bumps FORMAT_VERSION instead
     MAGIC = b"caffeine-column-cache"
     FORMAT_VERSION = 1
-
-    def __init__(self, path: Union[str, os.PathLike]) -> None:
-        self.path = Path(path)
-        #: advisory lock guarding the save protocol's read-merge-write
-        self.lock = FileLock(str(self.path) + ".lock")
+    KIND = "column-cache"
 
     # ------------------------------------------------------------------
     def save(self, cache: BasisColumnCache, merge: bool = True) -> int:
@@ -280,25 +406,8 @@ class ColumnCacheStore:
                 if stored:
                     entries.extend((key, column) for key, column in stored
                                    if key not in fresh)
-            payload = pickle.dumps(
-                {"format_version": self.FORMAT_VERSION, "entries": entries},
-                protocol=pickle.HIGHEST_PROTOCOL)
-            digest = hashlib.sha256(payload).hexdigest().encode("ascii")
-            header = b"%s\n%d\n%s\n" % (self.MAGIC, self.FORMAT_VERSION,
-                                        digest)
-            fd, temp_name = tempfile.mkstemp(dir=str(self.path.parent),
-                                             prefix=self.path.name + ".tmp-")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(header)
-                    handle.write(payload)
-                os.replace(temp_name, self.path)
-            except BaseException:
-                try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-                raise
+            self._write_document(
+                {"format_version": self.FORMAT_VERSION, "entries": entries})
         return len(entries)
 
     # ------------------------------------------------------------------
@@ -341,43 +450,86 @@ class ColumnCacheStore:
     # ------------------------------------------------------------------
     def _read_payload(self):
         """The stored entry list, or None for any unreadable/invalid file."""
-        try:
-            raw = self.path.read_bytes()
-        except FileNotFoundError:
-            return None  # a cold start, not a problem
-        except OSError as error:
-            self._warn(f"unreadable ({error})")
+        document = self._read_document()
+        if document is None:
             return None
-        try:
-            magic, version_text, digest, payload = raw.split(b"\n", 3)
-        except ValueError:
-            self._warn("truncated header")
-            return None
-        if magic != self.MAGIC:
-            self._warn("not a column-cache file (bad magic)")
-            return None
-        if version_text != b"%d" % self.FORMAT_VERSION:
-            self._warn(f"unsupported format version {version_text!r} "
-                       f"(this build reads version {self.FORMAT_VERSION})")
-            return None
-        if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
-            self._warn("checksum mismatch (truncated or corrupted)")
-            return None
-        try:
-            document = pickle.loads(payload)
-            entries = document["entries"]
-        except Exception as error:  # damaged pickle, wrong schema, ...
-            self._warn(f"undecodable payload ({type(error).__name__}: {error})")
-            return None
+        entries = document.get("entries")
         if not isinstance(entries, list):
-            self._warn("malformed payload (entries is not a list)")
+            self._warn("malformed payload (entries is not a list)",
+                       quarantine=True)
             return None
         return entries
 
-    def _warn(self, reason: str) -> None:
-        warnings.warn(
-            f"ignoring column-cache file {self.path}: {reason}; "
-            f"starting cold", RuntimeWarning, stacklevel=4)
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ColumnCacheStore({str(self.path)!r})"
+class RunCheckpointStore(_VersionedFileStore):
+    """Crash-safe named snapshots of in-progress runs, one file per sweep.
+
+    The store maps *slot names* (one per problem; ``Session`` uses the
+    problem name, ``run_caffeine`` the single problem's name) to opaque
+    pickled state dicts -- a :meth:`CaffeineEngine.capture_run_state
+    <repro.core.engine.CaffeineEngine.capture_run_state>` generation
+    snapshot while a run is in flight, or a completed
+    :class:`~repro.core.engine.CaffeineResult` once it finished (so a
+    resumed sweep returns finished problems without re-running them).
+
+    Writes go through the shared envelope: atomic replace (a ``SIGKILL``
+    mid-save leaves the previous checkpoint readable), SHA-256-checksummed
+    payload (a torn checkpoint is detected, warned about and quarantined --
+    the run starts cold rather than resuming from garbage), and a
+    read-merge-write cycle under the sidecar advisory lock so parallel
+    workers checkpointing different problems into one file never erase each
+    other's slots.
+    """
+
+    MAGIC = b"caffeine-run-checkpoint"
+    FORMAT_VERSION = 1
+    KIND = "run-checkpoint"
+
+    # ------------------------------------------------------------------
+    def save_state(self, slot: str, state: dict) -> None:
+        """Store ``state`` under ``slot``, keeping every other slot."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.lock:
+            slots = self._read_slots() or {}
+            slots[str(slot)] = state
+            self._write_document(
+                {"format_version": self.FORMAT_VERSION, "slots": slots})
+
+    def load_state(self, slot: str) -> Optional[dict]:
+        """The state stored under ``slot``, or None (missing file or slot)."""
+        slots = self._read_slots()
+        if not slots:
+            return None
+        return slots.get(str(slot))
+
+    def discard(self, slot: str) -> bool:
+        """Drop one slot (e.g. after its run completed); True if it existed.
+
+        Removing the last slot leaves an empty-but-valid file rather than
+        deleting it (concurrent savers may be mid-merge on the same path).
+        """
+        with self.lock:
+            slots = self._read_slots()
+            if not slots or str(slot) not in slots:
+                return False
+            del slots[str(slot)]
+            self._write_document(
+                {"format_version": self.FORMAT_VERSION, "slots": slots})
+        return True
+
+    def slot_names(self) -> Tuple[str, ...]:
+        """Names of every stored slot (empty for a missing/damaged file)."""
+        slots = self._read_slots()
+        return tuple(sorted(slots)) if slots else ()
+
+    # ------------------------------------------------------------------
+    def _read_slots(self) -> Optional[Dict[str, dict]]:
+        document = self._read_document()
+        if document is None:
+            return None
+        slots = document.get("slots")
+        if not isinstance(slots, dict):
+            self._warn("malformed payload (slots is not a mapping)",
+                       quarantine=True)
+            return None
+        return slots

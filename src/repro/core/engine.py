@@ -23,12 +23,20 @@ change the evolved models -- only the wall-clock time.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import os
 import time
-from typing import Callable, List, Optional, Sequence, Tuple
+import warnings
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.evaluation import BasisColumnCache, PopulationEvaluator
+from repro.core import faults
+from repro.core.evaluation import (
+    BasisColumnCache,
+    PopulationEvaluator,
+    dataset_fingerprint,
+)
 from repro.core.generator import ExpressionGenerator
 from repro.core.individual import Individual
 from repro.core.model import SymbolicModel, TradeoffSet, batch_test_errors
@@ -111,6 +119,11 @@ class CaffeineEngine:
         if self.test is not None and self.test.variable_names != self.train.variable_names:
             raise ValueError("train and test datasets use different design variables")
         self.settings = settings if settings is not None else CaffeineSettings()
+        if self.settings.fault_injection:
+            # Recovery-test hook: per-problem settings travel into session
+            # worker processes, so arming here is what lets a test inject a
+            # failure inside one specific worker (idempotent per string).
+            faults.install_from_string(self.settings.fault_injection)
         self.rng = np.random.default_rng(self.settings.random_seed)
         self.generator = ExpressionGenerator(self.train.n_variables,
                                              self.settings, rng=self.rng)
@@ -240,21 +253,178 @@ class CaffeineEngine:
         """Feasible nondominated individuals of the final population."""
         return self._front_individuals()
 
-    def run(self, progress: Optional[ProgressCallback] = None) -> CaffeineResult:
+    # ------------------------------------------------------------------
+    # crash-safe checkpointing
+    #
+    # A run's restorable state is exactly: the RNG bit-generator state, the
+    # population (with its fitted weights/objectives), the cached
+    # rank/crowding arrays from the previous survivor selection, and the
+    # stats history -- all captured at a *generation boundary* (after
+    # select_and_rerank, before the next tournament draws).  Everything
+    # else the engine holds (column cache, gram pool, compiled kernels) is
+    # result-neutral by contract: a resumed run rebuilds those caches cold
+    # and pays only wall-clock, never a changed model.  The rank/crowding
+    # arrays DO have to travel: generation 0 computes them fresh, but every
+    # later boundary inherits them from select_and_rerank, and recomputing
+    # after restore would have to be proven identical -- snapshotting them
+    # makes resume bit-identity true by construction.
+    # ------------------------------------------------------------------
+
+    #: schema version of capture_run_state / restore_run_state payloads
+    RUN_STATE_VERSION = 1
+
+    def checkpoint_fingerprint(self) -> str:
+        """Identity of "the run this checkpoint belongs to".
+
+        Combines the result-affecting settings fingerprint
+        (:meth:`CaffeineSettings.fingerprint`) with the training data's
+        content (X, y, target name), so a checkpoint can only resume a run
+        that would have evolved the exact same models.  Testing data is
+        deliberately excluded: it only scores the final front, so resuming
+        with refreshed test data is rescoring, not divergence.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.settings.fingerprint().encode("ascii"))
+        digest.update(dataset_fingerprint(self.train.X).encode("ascii"))
+        digest.update(np.ascontiguousarray(self.train.y,
+                                           dtype=float).tobytes())
+        digest.update(str(self.train.target_name).encode("utf-8"))
+        return digest.hexdigest()
+
+    def capture_run_state(self, next_generation: int) -> dict:
+        """Snapshot the boundary state; ``next_generation`` runs next.
+
+        Cheap (references plus two small array copies); the expense is in
+        :meth:`RunCheckpointStore.save_state`, which pickles it.
+        """
+        ranked = self._ranked
+        if ranked is not None and ranked.individuals is not self.population:
+            ranked = None  # stale cache (external population assignment)
+        return {
+            "state_version": self.RUN_STATE_VERSION,
+            "kind": "generation",
+            "fingerprint": self.checkpoint_fingerprint(),
+            "generation": int(next_generation),
+            "rng_state": self.rng.bit_generator.state,
+            "population": list(self.population),
+            "ranks": (np.array(ranked.ranks, copy=True)
+                      if ranked is not None else None),
+            "crowding": (np.array(ranked.crowding, copy=True)
+                         if ranked is not None else None),
+            "history": tuple(self.history),
+            "wall_time": time.time(),
+        }
+
+    def restore_run_state(self, state: dict) -> int:
+        """Restore a :meth:`capture_run_state` snapshot; returns the
+        generation index the run should continue from.
+
+        Raises ``ValueError`` when the snapshot belongs to a different run
+        (settings/data fingerprint mismatch) or a different state schema --
+        resuming from it would silently diverge.  ``run(resume=True)``
+        degrades such mismatches to a warning plus cold start instead.
+        """
+        if state.get("state_version") != self.RUN_STATE_VERSION:
+            raise ValueError(
+                f"run-state schema {state.get('state_version')!r} is not "
+                f"{self.RUN_STATE_VERSION} (checkpoint from another build)")
+        if state.get("kind") != "generation":
+            raise ValueError(
+                f"not a generation snapshot (kind={state.get('kind')!r})")
+        if state.get("fingerprint") != self.checkpoint_fingerprint():
+            raise ValueError(
+                "checkpoint fingerprint mismatch: it was taken under "
+                "different result-affecting settings or training data; "
+                "resuming would not reproduce the interrupted run")
+        self.rng.bit_generator.state = state["rng_state"]
+        self.population = list(state["population"])
+        self.history = list(state["history"])
+        self._ranked = None
+        if state.get("ranks") is not None:
+            self._ranked = RankedPopulation(self.population,
+                                            np.asarray(state["ranks"]),
+                                            np.asarray(state["crowding"]))
+        return int(state["generation"])
+
+    @staticmethod
+    def _as_checkpoint_store(checkpoint):
+        from repro.core.cache_store import RunCheckpointStore
+
+        if checkpoint is None or isinstance(checkpoint, RunCheckpointStore):
+            return checkpoint
+        return RunCheckpointStore(checkpoint)
+
+    def run(self, progress: Optional[ProgressCallback] = None, *,
+            checkpoint: Optional[Union[str, os.PathLike, "object"]] = None,
+            checkpoint_every: int = 1,
+            checkpoint_slot: Optional[str] = None,
+            resume: bool = False) -> CaffeineResult:
         """Run the full evolutionary loop plus post-processing.
+
+        ``checkpoint`` (a path or a
+        :class:`~repro.core.cache_store.RunCheckpointStore`) makes the run
+        crash-safe: every ``checkpoint_every`` generations the boundary
+        state is snapshotted under ``checkpoint_slot`` (default: the
+        training target's name), a ``KeyboardInterrupt`` saves the last
+        completed boundary before propagating, and the final
+        :class:`CaffeineResult` is stored in the slot on success.  With
+        ``resume=True`` a compatible stored snapshot warm-restarts the run
+        -- **bit-identically** to never having been interrupted -- and a
+        stored final result is returned outright; an incompatible snapshot
+        (different settings/data) warns and starts cold.  Without
+        ``checkpoint`` both knobs are inert.
 
         The evaluator's worker pool (if a parallel backend is configured) is
         released when the run finishes; manual ``initialize_population`` /
         ``step`` drivers should call ``engine.evaluator.shutdown()``
         themselves when done.
         """
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        store = self._as_checkpoint_store(checkpoint)
+        slot = (checkpoint_slot if checkpoint_slot is not None
+                else (self.train.target_name or "run"))
         start_time = time.perf_counter()
+        start_generation = 0
+        if store is not None and resume:
+            state = store.load_state(slot)
+            if state is not None:
+                if state.get("kind") == "result" and \
+                        state.get("fingerprint") == \
+                        self.checkpoint_fingerprint():
+                    self.evaluator.shutdown()
+                    return state["result"]
+                try:
+                    start_generation = self.restore_run_state(state)
+                except ValueError as error:
+                    warnings.warn(
+                        f"ignoring checkpoint slot {slot!r} at "
+                        f"{store.path}: {error}; starting cold",
+                        RuntimeWarning, stacklevel=2)
+                    start_generation = 0
+        boundary: Optional[dict] = None
         try:
-            self.initialize_population()
-            for generation in range(self.settings.n_generations):
-                stats = self.step(generation)
-                if progress is not None:
-                    progress(generation, stats)
+            if start_generation == 0:
+                self.initialize_population()
+            try:
+                for generation in range(start_generation,
+                                        self.settings.n_generations):
+                    stats = self.step(generation)
+                    if progress is not None:
+                        progress(generation, stats)
+                    if store is not None:
+                        boundary = self.capture_run_state(generation + 1)
+                        if (generation + 1) % checkpoint_every == 0 \
+                                and generation + 1 < self.settings.n_generations:
+                            store.save_state(slot, boundary)
+            except KeyboardInterrupt:
+                # Persist the last *completed* generation boundary so the
+                # interrupted run can continue exactly where it stopped
+                # (a mid-step interrupt must never pair an advanced RNG
+                # with a stale population -- boundary snapshots cannot).
+                if store is not None and boundary is not None:
+                    store.save_state(slot, boundary)
+                raise
 
             front = self.final_front()
             if self.settings.simplify_after_generation:
@@ -272,7 +442,7 @@ class CaffeineEngine:
         test_tradeoff = tradeoff.test_tradeoff() if self.test is not None \
             else TradeoffSet([])
         runtime = time.perf_counter() - start_time
-        return CaffeineResult(
+        result = CaffeineResult(
             target_name=self.train.target_name,
             variable_names=self.train.variable_names,
             tradeoff=tradeoff,
@@ -281,6 +451,17 @@ class CaffeineEngine:
             settings=self.settings,
             runtime_seconds=runtime,
         )
+        if store is not None:
+            # Replace the generation snapshot with the finished result, so
+            # a resumed sweep returns this problem without re-running it.
+            store.save_state(slot, {
+                "state_version": self.RUN_STATE_VERSION,
+                "kind": "result",
+                "fingerprint": self.checkpoint_fingerprint(),
+                "result": result,
+                "wall_time": time.time(),
+            })
+        return result
 
     def _freeze_models(self, front: Sequence[Individual]) -> List[SymbolicModel]:
         feasible = [ind for ind in front if ind.is_feasible]
@@ -311,7 +492,10 @@ def run_caffeine(train: Dataset, test: Optional[Dataset] = None,
                  settings: Optional[CaffeineSettings] = None,
                  progress: Optional[ProgressCallback] = None,
                  column_cache: Optional[BasisColumnCache] = None,
-                 column_cache_path: Optional[str] = None) -> CaffeineResult:
+                 column_cache_path: Optional[str] = None,
+                 checkpoint_path: Optional[str] = None,
+                 checkpoint_every: int = 1,
+                 resume: bool = True) -> CaffeineResult:
     """Run CAFFEINE on a training dataset (and optional testing dataset).
 
     .. deprecated:: 1.1
@@ -352,6 +536,17 @@ def run_caffeine(train: Dataset, test: Optional[Dataset] = None,
     successful run, merged under the store's advisory lock so concurrent
     runs cannot erase each other's columns.  Neither knob ever changes the
     evolved models, only wall-clock time.
+
+    ``checkpoint_path`` makes the run *crash-safe*: every
+    ``checkpoint_every`` generations the run's boundary state (RNG state,
+    population, rank arrays, history) is snapshotted to a
+    :class:`~repro.core.cache_store.RunCheckpointStore` at the path, and --
+    because ``resume`` defaults to True -- re-running the same call after a
+    crash, SIGKILL or Ctrl-C warm-restarts from the last snapshot,
+    **bit-identically** to a run that was never interrupted (a finished
+    run's stored result is returned outright).  ``resume=False`` ignores
+    any existing snapshot and starts cold.  Like the cache knobs, the
+    checkpoint cadence never changes the evolved models.
     """
     # Imported here: session.py imports this module (CaffeineEngine).
     from repro.core.problem import Problem
@@ -362,5 +557,8 @@ def run_caffeine(train: Dataset, test: Optional[Dataset] = None,
     session = Session([Problem(train=train, test=test)], settings=settings,
                       column_cache=column_cache,
                       column_cache_path=column_cache_path,
-                      callbacks=callbacks)
-    return session.run().single()
+                      callbacks=callbacks,
+                      checkpoint_path=checkpoint_path,
+                      checkpoint_every=checkpoint_every,
+                      failure_policy="raise")
+    return session.run(resume=bool(checkpoint_path) and resume).single()

@@ -58,6 +58,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import faults
 from repro.core.compile import TreeCompiler, cached_skeleton_and_params
 from repro.core.complexity import basis_function_complexity, model_complexity
 from repro.core.expression import ProductTerm, cached_structural_key
@@ -775,6 +776,10 @@ class PopulationEvaluator:
         unique columns of *this* batch are still computed once (and through
         the configured parallel backend) via a batch-local overlay.
         """
+        # Recovery-test hook: a batch whose fit machinery blows up
+        # (singular solve, backend bug, OOM) must surface as a structured
+        # per-problem failure upstream, never abort a whole sweep.
+        faults.raise_point("fit.exception", n=len(individuals))
         keyed = [(individual, [self._basis_key(b) for b in individual.bases])
                  for individual in individuals]
         if self.cache.max_entries > 0:

@@ -22,12 +22,26 @@ only -- every backend and cache size produces bit-for-bit identical models.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Optional
 
 from repro.core.functions import FunctionSet, default_function_set
 from repro.core.registry import backend_names
 
 __all__ = ["CaffeineSettings"]
+
+#: Fields that can never change a run's evolved models -- backends, cache
+#: budgets and worker counts are all bit-for-bit identical by contract
+#: (enforced by the test suite and the CI equivalence gates), and fault
+#: injection only decides *whether* a run completes, not what it computes.
+#: :meth:`CaffeineSettings.fingerprint` excludes them, so a checkpoint
+#: taken under one backend/cache configuration resumes under another.
+_RESULT_NEUTRAL_FIELDS = frozenset({
+    "evaluation_backend", "evaluation_workers", "column_backend",
+    "basis_cache_size", "fit_backend", "gram_pool_size", "pareto_backend",
+    "residual_backend", "genome_backend", "kernel_cache_size",
+    "adaptive_cache_budgets", "fault_injection",
+})
 
 
 @dataclasses.dataclass
@@ -177,6 +191,15 @@ class CaffeineSettings:
     #: the defaults.
     adaptive_cache_budgets: bool = True
 
+    # -- fault injection (testing/CI only) ---------------------------------------
+    #: optional :mod:`repro.core.faults` spec string (same syntax as the
+    #: ``REPRO_FAULTS`` environment variable) armed when an engine is built
+    #: from these settings.  Because per-problem settings travel into
+    #: session worker processes, this is how recovery tests inject failures
+    #: inside a specific worker.  Never changes what a surviving run
+    #: computes -- only whether/when it fails.
+    fault_injection: Optional[str] = None
+
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
         self.validate()
@@ -234,6 +257,14 @@ class CaffeineSettings:
                 f"got {self.genome_backend!r}")
         if self.kernel_cache_size < 0:
             raise ValueError("kernel_cache_size must be non-negative")
+        if self.fault_injection is not None:
+            from repro.core import faults
+
+            try:
+                faults.parse_faults(self.fault_injection)
+            except ValueError as error:
+                raise ValueError(
+                    f"fault_injection does not parse: {error}") from None
 
     @staticmethod
     def _validate_backend(kind: str, name: str) -> None:
@@ -293,6 +324,29 @@ class CaffeineSettings:
                 or self.kernel_cache_size != type(self).kernel_cache_size:
             return self.kernel_cache_size
         return max(self.kernel_cache_size, 8 * self.population_size)
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Hex digest over every *result-affecting* field.
+
+        Two settings objects with equal fingerprints are guaranteed to
+        evolve bit-identical models from the same data and seed; fields
+        that only trade wall-clock for memory/cores (backends, cache
+        budgets, workers -- see ``_RESULT_NEUTRAL_FIELDS``) are excluded.
+        :class:`~repro.core.cache_store.RunCheckpointStore` snapshots carry
+        this digest so a checkpoint refuses to resume under settings that
+        would silently diverge from the interrupted run, while still
+        resuming freely under a different backend or cache configuration.
+        """
+        parts = []
+        for field in sorted(f.name for f in dataclasses.fields(self)):
+            if field in _RESULT_NEUTRAL_FIELDS:
+                continue
+            value = getattr(self, field)
+            if isinstance(value, FunctionSet):
+                value = value.fingerprint()
+            parts.append(f"{field}={value!r}")
+        return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     @classmethod

@@ -96,7 +96,10 @@ def run_ablation(datasets: Optional[OtaDatasets] = None,
                  target: str = "PM",
                  include_single_objective: bool = True,
                  column_cache_path: Optional[str] = None,
-                 jobs: int = 1) -> AblationResult:
+                 jobs: int = 1,
+                 checkpoint_path: Optional[str] = None,
+                 checkpoint_every: int = 1,
+                 resume: bool = False) -> AblationResult:
     """Run the ablation study for one OTA performance.
 
     The CAFFEINE variants run as one :class:`~repro.core.session.Session`
@@ -132,7 +135,10 @@ def run_ablation(datasets: Optional[OtaDatasets] = None,
             settings=settings.copy(basis_function_cost=0.0,
                                    vc_exponent_cost=0.0)))
     outcome = Session(variants, settings=settings, jobs=jobs,
-                      column_cache_path=column_cache_path).run()
+                      column_cache_path=column_cache_path,
+                      checkpoint_path=checkpoint_path,
+                      checkpoint_every=checkpoint_every,
+                      ).run(resume=resume).raise_failures()
     entries = [_entry_from_caffeine(name, target, result)
                for name, result in outcome.items()]
 

@@ -97,7 +97,10 @@ def run_figure3(datasets: Optional[OtaDatasets] = None,
                 settings: Optional[CaffeineSettings] = None,
                 targets: Optional[Sequence[str]] = None,
                 column_cache_path: Optional[str] = None,
-                jobs: int = 1) -> Figure3Result:
+                jobs: int = 1,
+                checkpoint_path: Optional[str] = None,
+                checkpoint_every: int = 1,
+                resume: bool = False) -> Figure3Result:
     """Regenerate the Figure 3 data (optionally for a subset of performances).
 
     The sweep is one :class:`~repro.core.session.Session` over the selected
@@ -106,7 +109,10 @@ def run_figure3(datasets: Optional[OtaDatasets] = None,
     previous ones computed.  ``column_cache_path`` persists that cache on
     disk so repeated sweeps -- and the other drivers pointed at the same
     path -- start warm; ``jobs > 1`` runs performances concurrently.
-    Neither changes the models.
+    ``checkpoint_path`` makes the sweep crash-safe and ``resume=True``
+    warm-restarts it from there (finished performances return their stored
+    results, interrupted ones continue bit-identically).  None of these
+    change the models.
     """
     datasets = datasets if datasets is not None else generate_ota_datasets()
     settings = settings if settings is not None else CaffeineSettings()
@@ -114,7 +120,10 @@ def run_figure3(datasets: Optional[OtaDatasets] = None,
 
     outcome = session_for_targets(datasets, selected, settings,
                                   column_cache_path=column_cache_path,
-                                  jobs=jobs).run()
+                                  jobs=jobs,
+                                  checkpoint_path=checkpoint_path,
+                                  checkpoint_every=checkpoint_every,
+                                  ).run(resume=resume).raise_failures()
     results: Dict[str, CaffeineResult] = dict(outcome.items())
     series: Dict[str, Figure3Series] = {
         target: _series_from_result(target, results[target])

@@ -124,7 +124,10 @@ def run_figure4(datasets: Optional[OtaDatasets] = None,
                 template: Optional[PosynomialTemplate] = None,
                 results: Optional[Mapping[str, CaffeineResult]] = None,
                 column_cache_path: Optional[str] = None,
-                jobs: int = 1) -> Figure4Result:
+                jobs: int = 1,
+                checkpoint_path: Optional[str] = None,
+                checkpoint_every: int = 1,
+                resume: bool = False) -> Figure4Result:
     """Regenerate the Figure 4 comparison.
 
     The CAFFEINE side of the comparison runs as one
@@ -142,7 +145,10 @@ def run_figure4(datasets: Optional[OtaDatasets] = None,
     if missing:
         outcome = session_for_targets(datasets, missing, settings,
                                       column_cache_path=column_cache_path,
-                                      jobs=jobs).run()
+                                      jobs=jobs,
+                                      checkpoint_path=checkpoint_path,
+                                      checkpoint_every=checkpoint_every,
+                                      ).run(resume=resume).raise_failures()
         all_results.update(outcome.items())
     rows = []
     for target in selected:

@@ -196,8 +196,11 @@ def session_for_targets(datasets: OtaDatasets,
                         settings: Optional[CaffeineSettings] = None,
                         column_cache_path: Optional[str] = None,
                         jobs: int = 1,
-                        callbacks: Sequence[SessionCallback] = ()
-                        ) -> Session:
+                        callbacks: Sequence[SessionCallback] = (),
+                        checkpoint_path: Optional[str] = None,
+                        checkpoint_every: int = 1,
+                        timeout: Optional[float] = None,
+                        retries: int = 1) -> Session:
     """A ready-to-run :class:`Session` over the selected OTA performances.
 
     All experiment drivers build their sweeps through here: the six
@@ -205,11 +208,22 @@ def session_for_targets(datasets: OtaDatasets,
     (fingerprinted, optionally persistent) column cache makes the column
     side of a sweep roughly six times cheaper -- and ``jobs > 1`` runs
     performances concurrently with identical results.
+
+    ``checkpoint_path`` makes the sweep crash-safe: every run snapshots its
+    generation boundaries (and its final result) to a
+    :class:`~repro.core.cache_store.RunCheckpointStore` there, so
+    ``session.run(resume=True)`` after a crash or Ctrl-C skips finished
+    performances and continues in-flight ones bit-identically.  ``timeout``
+    and ``retries`` bound per-performance wall-clock and retry crashed
+    workers when ``jobs > 1``.
     """
     return Session(problems_for_targets(datasets, targets),
                    settings=settings, jobs=jobs,
                    column_cache_path=column_cache_path,
-                   callbacks=callbacks)
+                   callbacks=callbacks,
+                   checkpoint_path=checkpoint_path,
+                   checkpoint_every=checkpoint_every,
+                   timeout=timeout, retries=retries)
 
 
 def run_caffeine_for_target(datasets: OtaDatasets, target: str,

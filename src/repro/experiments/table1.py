@@ -91,7 +91,10 @@ def run_table1(datasets: Optional[OtaDatasets] = None,
                error_target: float = DEFAULT_ERROR_TARGET,
                results: Optional[Mapping[str, CaffeineResult]] = None,
                column_cache_path: Optional[str] = None,
-               jobs: int = 1) -> Table1Result:
+               jobs: int = 1,
+               checkpoint_path: Optional[str] = None,
+               checkpoint_every: int = 1,
+               resume: bool = False) -> Table1Result:
     """Regenerate Table I.
 
     ``results`` may carry pre-computed CAFFEINE runs (e.g. shared with the
@@ -110,7 +113,10 @@ def run_table1(datasets: Optional[OtaDatasets] = None,
     if missing:
         outcome = session_for_targets(datasets, missing, settings,
                                       column_cache_path=column_cache_path,
-                                      jobs=jobs).run()
+                                      jobs=jobs,
+                                      checkpoint_path=checkpoint_path,
+                                      checkpoint_every=checkpoint_every,
+                                      ).run(resume=resume).raise_failures()
         all_results.update(outcome.items())
     rows = []
     for target in selected:
