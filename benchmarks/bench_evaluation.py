@@ -33,8 +33,13 @@ check at that scale.  The ``selection_variation`` section puts the
 structure-sharing genome backend head to head against its deepcopy
 reference (per-operator child cost, node clones per offspring,
 population-1000 phase seconds for both) and contributes the
-``genome_shared_vs_deepcopy`` bit-identity verdict.  NSGA-II ranking time
-is reported *separately* (it is selection, not evaluation) in a
+``genome_shared_vs_deepcopy`` bit-identity verdict.  The ``serving``
+section freezes a fixed-seed run with :func:`~repro.core.artifact.save_front`
+and serves it through :mod:`repro.serve`: artifact size, cold-load
+milliseconds, ``/predict`` latency percentiles and rows/sec per batch
+size (1/100/10000), and the ``artifact_roundtrip`` verdict -- frozen and
+served predictions bit-identical to the originating run.  NSGA-II ranking
+time is reported *separately* (it is selection, not evaluation) in a
 ``pareto_sort`` section -- and at larger population scales in
 ``bench_pareto.json``.
 
@@ -702,6 +707,101 @@ def _measure_session_api(train):
     return report, equal
 
 
+def _measure_serving(train, tmp_path):
+    """Frozen-front artifact round trip plus served-prediction latency.
+
+    Freezes a fixed-seed Figure-3 run with :func:`save_front`, loads it
+    back with :func:`load_front`, and produces the ``artifact_roundtrip``
+    verdict: the frozen front's ``predict_all``/``rescore`` and the
+    responses served over HTTP must be bit-for-bit identical to the
+    originating run's models and to
+    :func:`~repro.core.report.rescore_models`.  The report is the
+    trajectory's ``serving`` section: artifact size, save/cold-load
+    wall-clocks, and -- per batch size 1/100/10000 -- the ``/predict``
+    latency percentiles and throughput from the server's own
+    :class:`~repro.serve.RequestProfiler` (swapped fresh per batch size so
+    the percentiles are not mixed across scales).  Latency numbers are
+    informational, never gated (noisy-runner rule); only the bit identity
+    is asserted.
+    """
+    import threading
+    import urllib.request
+
+    import numpy as np
+
+    from repro.core.artifact import load_front, save_front
+    from repro.core.engine import run_caffeine
+    from repro.core.report import rescore_models
+    from repro.serve import RequestProfiler, make_server
+
+    result = run_caffeine(train,
+                          settings=WORKLOAD_SETTINGS.copy(n_generations=5))
+    path = os.path.join(tmp_path, "bench-front.caffeine")
+    save_start = time.perf_counter()
+    n_models = save_front(result, path)
+    save_seconds = time.perf_counter() - save_start
+
+    # Offline round trip: bit identity against the originating run.
+    front = load_front(path)
+    models = list(result.tradeoff)
+    X, y = train.X, train.y
+    stacked = front.predict_all(X)
+    equal = all(np.array_equal(row, model.predict(X))
+                for row, model in zip(stacked, models))
+    equal = equal and np.array_equal(
+        np.asarray(front.rescore(X, y)),
+        np.asarray(rescore_models(models, X, y)), equal_nan=True)
+
+    server = make_server(path)
+    cold_load_ms = server.profiler.snapshot()["metrics"]["cold_load_ms"]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    report = {
+        "workload": "figure3-PM front frozen + served over HTTP",
+        "n_models": n_models,
+        "artifact_bytes": os.path.getsize(path),
+        "save_seconds": round(save_seconds, 4),
+        "cold_load_ms": round(cold_load_ms, 3),
+    }
+    try:
+        def post_predict(payload):
+            request = urllib.request.Request(
+                server.url + "/predict", data=payload,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return json.loads(response.read())
+
+        # Served bit identity: one probe batch vs the frozen predictions
+        # (the server maps non-finite values to JSON null).
+        rng = np.random.default_rng(2005)
+        probe = X[rng.integers(0, X.shape[0], size=100)]
+        served = np.array(
+            [np.nan if value is None else value
+             for value in post_predict(
+                 json.dumps({"X": probe.tolist()}).encode())["predictions"]])
+        equal = equal and np.array_equal(served, front.predict(probe),
+                                         equal_nan=True)
+
+        for batch_size, n_requests in ((1, 50), (100, 20), (10000, 5)):
+            batch = X[rng.integers(0, X.shape[0], size=batch_size)]
+            payload = json.dumps({"X": batch.tolist()}).encode()
+            server.profiler = RequestProfiler()
+            for _request in range(n_requests):
+                post_predict(payload)
+            snapshot = server.profiler.snapshot()["steps"]["predict"]
+            report[f"batch_{batch_size}"] = {
+                "requests": n_requests,
+                "p50_ms": round(snapshot["p50_ms"], 3),
+                "p95_ms": round(snapshot["p95_ms"], 3),
+                "p99_ms": round(snapshot["p99_ms"], 3),
+                "rows_per_second": round(snapshot["rows_per_second"], 1),
+            }
+    finally:
+        server.shutdown()
+        server.server_close()
+    return report, equal
+
+
 def _measure_concurrent_store(tmp_path):
     """Two simultaneous ``ColumnCacheStore.save`` cycles on one path.
 
@@ -789,6 +889,7 @@ def test_population_evaluation_throughput(benchmark, bench_datasets,
                                      shared_final_snapshot)
     sort_report = _measure_sort(population_batches[-1])
     session_report, session_equal = _measure_session_api(train)
+    serving_report, artifact_equal = _measure_serving(train, str(tmp_path))
     concurrent_report, concurrent_ok = _measure_concurrent_store(
         str(tmp_path))
 
@@ -803,6 +904,7 @@ def test_population_evaluation_throughput(benchmark, bench_datasets,
         "genome_shared_vs_deepcopy": genome_backends_equal,
         "cold_vs_warm_cache": cache_equal,
         "legacy_shim_vs_session": session_equal,
+        "artifact_roundtrip": artifact_equal,
         "concurrent_store_writers_lose_nothing": concurrent_ok,
     }
     equivalence["verified"] = all(equivalence.values())
@@ -820,6 +922,7 @@ def test_population_evaluation_throughput(benchmark, bench_datasets,
         "selection_variation": selection_variation_report,
         "pareto_sort": sort_report,
         "session_api": session_report,
+        "serving": serving_report,
         "concurrent_store": concurrent_report,
         "equivalence": equivalence,
     }

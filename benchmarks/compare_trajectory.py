@@ -16,11 +16,12 @@ true, or a missing/unreadable report, means a fast path no longer
 reproduces the reference results exactly, which is a correctness bug
 regardless of machine load.  For ``bench_evaluation.json`` specifically,
 the required equivalence keys (``REQUIRED_EQUIVALENCE_KEYS``) must also
-*exist* and hold -- the residual-backend, population-1000 and
-shared-vs-deepcopy genome verdicts cannot silently drop out of the report
--- and the ``population_1000`` and ``selection_variation`` sections are
-summarized in their own blocks so the n=1000 trajectory and the
-genome-backend head-to-head stay visible in every step summary.
+*exist* and hold -- the residual-backend, population-1000,
+shared-vs-deepcopy genome and frozen-artifact round-trip verdicts cannot
+silently drop out of the report -- and the ``population_1000``,
+``selection_variation`` and ``serving`` sections are summarized in their
+own blocks so the n=1000 trajectory, the genome-backend head-to-head and
+the serving latency percentiles stay visible in every step summary.
 
 To refresh the baselines after an intentional change, run the benchmarks
 locally and copy the outputs over the committed files::
@@ -49,6 +50,7 @@ REPORT_PAIRS = (
 TRACKED_SUFFIXES = (
     "speedup",
     "_seconds",
+    "_ms",
     "hit_rate",
     "per_second",
     "store_bytes",
@@ -64,6 +66,7 @@ REQUIRED_EQUIVALENCE_KEYS = {
         "residual_scalar_vs_batched",
         "population_1000_scalar_vs_batched",
         "genome_shared_vs_deepcopy",
+        "artifact_roundtrip",
     ),
 }
 
@@ -71,7 +74,7 @@ REQUIRED_EQUIVALENCE_KEYS = {
 #: flattened metrics), so headline scaling numbers are readable without
 #: scanning the full table.
 HIGHLIGHT_SECTIONS = {
-    "bench_evaluation.json": ("population_1000", "selection_variation"),
+    "bench_evaluation.json": ("population_1000", "selection_variation", "serving"),
 }
 
 

@@ -7,7 +7,12 @@ truth and models it two ways:
 1. through :class:`repro.SymbolicRegressor`, the sklearn-style facade
    (``fit(X, y)`` / ``predict(X)`` / ``pareto_front_``);
 2. through :class:`repro.Session`, the multi-problem orchestrator, running
-   two related targets over one shared column cache.
+   two related targets over one shared column cache;
+3. deployment: the fitted trade-off is frozen to a small artifact with
+   :func:`repro.save_front`, loaded back as a prediction-only
+   :class:`~repro.core.artifact.FrozenFront` (bit-identical predictions),
+   and served over HTTP with :mod:`repro.serve` -- the same loop as
+   ``python -m repro freeze`` + ``python -m repro serve``.
 
 CAFFEINE is expected to recover an expression very close to the generating
 formula at the accurate end of the trade-off while also offering simpler,
@@ -22,11 +27,18 @@ Run with::
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import tempfile
+import threading
+import urllib.request
 
 import numpy as np
 
-from repro import CaffeineSettings, Problem, Session, SymbolicRegressor
+from repro import (CaffeineSettings, Problem, Session, SymbolicRegressor,
+                   load_front)
 from repro.core.report import tradeoff_table
+from repro.serve import make_server
 
 
 def make_data(n_samples: int, seed: int):
@@ -96,6 +108,41 @@ def main() -> None:
         chosen = run.best_model()
         print(f"  {name:>7}: {run.n_models} models, best train error "
               f"{chosen.train_error_percent:.2f}%  ->  {chosen.expression()}")
+
+    # ------------------------------------------------------------------
+    # 3. Deployment: freeze the trade-off, serve it, query it over HTTP.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "quickstart.front")
+        n_frozen = estimator.save(path)   # == save_front(estimator.result_, path)
+        print(f"\nFroze {n_frozen} models to a "
+              f"{os.path.getsize(path)}-byte artifact")
+
+        front = load_front(path)          # prediction-only, no engine
+        assert np.array_equal(front.predict(X_test),
+                              estimator.predict(X_test)), \
+            "frozen predictions must be bit-identical to the live estimator"
+        print("  load_front round trip: predictions bit-identical")
+
+        # `python -m repro serve quickstart.front` runs this same server as
+        # a blocking CLI; here it serves from a background thread instead so
+        # the example can query itself and exit.
+        server = make_server(path, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            request = urllib.request.Request(
+                server.url + "/predict",
+                data=json.dumps({"X": X_test[:3].tolist()}).encode(),
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=30) as response:
+                body = json.loads(response.read())
+            print(f"  served /predict at {server.url}: "
+                  f"{[round(p, 3) for p in body['predictions']]} "
+                  f"(model: {body['model']['expression']})")
+        finally:
+            server.shutdown()
+            server.server_close()
 
 
 if __name__ == "__main__":

@@ -48,6 +48,26 @@ one shared column cache:
     >>> outcome["t1"].n_models >= 1
     True
 
+Deployment -- freeze a fitted trade-off as a small versioned artifact
+(:func:`save_front`, magic/version/sha256 envelope, atomic writes) and load
+it back as a prediction-only :class:`~repro.core.artifact.FrozenFront`:
+predictions are **bit-identical** to the originating run's models, but
+loading reconstitutes only compiled prediction kernels -- no engine,
+population or caches.  ``python -m repro serve artifact.caffeine`` answers
+the same queries as a batched, stateless HTTP service (see the artifact
+spec and serving guide in ``benchmarks/README.md``):
+
+    >>> import os, tempfile
+    >>> from repro import load_front
+    >>> path = os.path.join(tempfile.mkdtemp(), "front.caffeine")
+    >>> est.save(path) >= 1   # == save_front(est.result_, path)
+    True
+    >>> front = load_front(path)
+    >>> bool(np.array_equal(front.predict(X), est.predict(X)))
+    True
+    >>> front.n_models == len(est.pareto_front_)
+    True
+
 Long sweeps are crash-safe and fault-tolerant: ``Session(...,
 checkpoint_path="sweep.ckpt")`` snapshots every run's generation
 boundaries (and final results) to a
@@ -77,11 +97,15 @@ from repro.core import (
     CaffeineEngine,
     CaffeineResult,
     CaffeineSettings,
+    FrontArtifactStore,
+    FrozenFront,
     FunctionSet,
     BasisColumnCache,
     ColumnCacheStore,
     FileLock,
     GramPool,
+    load_front,
+    save_front,
     InjectedFault,
     PopulationEvaluator,
     Problem,
@@ -144,6 +168,11 @@ __all__ = [
     "RunCheckpointStore",
     "FileLock",
     "GramPool",
+    # deployment: frozen Pareto-front artifacts + HTTP serving
+    "FrozenFront",
+    "FrontArtifactStore",
+    "save_front",
+    "load_front",
     "TreeCompiler",
     "dataset_fingerprint",
     "FunctionSet",

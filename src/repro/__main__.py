@@ -20,13 +20,26 @@ across invocations (both wall-clock knobs; results are identical).
 ``run`` opens an arbitrary header-row CSV as a modeling problem
 (:meth:`~repro.core.problem.Problem.from_csv`) and prints the resulting
 Pareto trade-off -- the paper's workflow on any numeric dataset.
+
+Deployment subcommands close the loop from run to service::
+
+    python -m repro freeze data.csv --target y --out front.caffeine
+    python -m repro serve front.caffeine --port 8000
+
+``freeze`` runs a CSV problem and saves its trade-off as a frozen artifact
+(:func:`~repro.core.artifact.save_front`); the sweep subcommands take
+``--save-front DIR`` to freeze every target's front after the sweep; and
+``serve`` answers batched HTTP prediction requests from an artifact without
+any evolution machinery (see :mod:`repro.serve` and the serving guide in
+``benchmarks/README.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
 
 from repro.core.problem import Problem
 from repro.core.report import tradeoff_table
@@ -41,9 +54,10 @@ from repro.experiments import (
     run_table2,
 )
 
-#: All subcommands (experiment regenerators plus the generic ``run``).
+#: All subcommands: experiment regenerators, the generic ``run``, and the
+#: deployment pair (``freeze`` a front artifact, ``serve`` it over HTTP).
 COMMANDS = ("datasets", "figure3", "table1", "table2", "figure4", "ablation",
-            "run")
+            "run", "freeze", "serve")
 
 
 def _budget_parser() -> argparse.ArgumentParser:
@@ -92,6 +106,17 @@ def _checkpoint_parser() -> argparse.ArgumentParser:
     return parent
 
 
+def _save_front_parser() -> argparse.ArgumentParser:
+    """The freeze-after-sweep option (a subparser parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--save-front", default=None, metavar="DIR",
+        help="after the sweep, freeze every target's trade-off as a "
+             "deployable artifact at DIR/<target>.front (load with "
+             "repro.load_front, serve with 'python -m repro serve')")
+    return parent
+
+
 def _jobs_parser() -> argparse.ArgumentParser:
     """The process-pool option -- only for multi-run sweep subcommands."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -121,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
     checkpoint = _checkpoint_parser()
     jobs = _jobs_parser()
     ota = _ota_parser()
+    save_front = _save_front_parser()
     subparsers = parser.add_subparsers(dest="command", required=True,
                                        metavar="{%s}" % ",".join(COMMANDS))
 
@@ -136,7 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         sub = subparsers.add_parser(name,
                                     parents=[budget, cache, checkpoint,
-                                             jobs, ota],
+                                             jobs, ota, save_front],
                                     help=help_text)
         sub.add_argument("--targets", nargs="*", default=None,
                          help="performance goals (default: all six)")
@@ -167,6 +193,41 @@ def build_parser() -> argparse.ArgumentParser:
                           "convention)")
     run.add_argument("--progress", action="store_true",
                      help="print per-generation progress lines")
+    run.add_argument("--save-front", default=None, metavar="PATH",
+                     help="freeze the resulting trade-off as a deployable "
+                          "artifact at PATH (serve it with "
+                          "'python -m repro serve PATH')")
+
+    freeze = subparsers.add_parser(
+        "freeze", parents=[budget, cache, checkpoint],
+        help="model a CSV dataset and freeze the trade-off as an artifact")
+    freeze.add_argument("csv", help="training data: a header-row CSV file")
+    freeze.add_argument("--target", required=True,
+                        help="name of the modeled column")
+    freeze.add_argument("--out", required=True, metavar="PATH",
+                        help="artifact file to write")
+    freeze.add_argument("--test", default=None, metavar="CSV",
+                        help="optional testing CSV with the same columns")
+    freeze.add_argument("--features", nargs="*", default=None,
+                        help="design-variable columns (default: every "
+                             "non-target column)")
+    freeze.add_argument("--log10-target", action="store_true",
+                        help="model log10 of the target (the paper's fu "
+                             "convention)")
+    freeze.add_argument("--progress", action="store_true",
+                        help="print per-generation progress lines")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a frozen artifact's predictions over HTTP (stdlib only)")
+    serve.add_argument("artifact", help="a front artifact written by "
+                                        "'freeze' or --save-front")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port (default: 8000)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per request to stderr")
     return parser
 
 
@@ -176,6 +237,24 @@ def settings_from_args(args: argparse.Namespace) -> CaffeineSettings:
     return CaffeineSettings(population_size=args.population,
                             n_generations=args.generations,
                             random_seed=args.seed)
+
+
+def _save_front_file(result, path) -> None:
+    """Freeze one result at ``path`` and report where it landed."""
+    from repro.core.artifact import save_front
+
+    n_models = save_front(result, path)
+    print(f"Froze {n_models} models to {path} "
+          f"(serve with: python -m repro serve {path})")
+
+
+def _save_front_directory(results: Mapping, directory) -> None:
+    """Freeze every sweep result as ``<directory>/<target>.front``."""
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    print()
+    for target, result in results.items():
+        _save_front_file(result, base / f"{target}.front")
 
 
 def _run_csv_command(args: argparse.Namespace) -> int:
@@ -209,13 +288,28 @@ def _run_csv_command(args: argparse.Namespace) -> int:
                   f"({len(result.test_tradeoff)} models)"))
     best = result.best_model()
     print(f"\nBest model: {best.expression()}")
+    save_front_path = (args.out if args.command == "freeze"
+                       else args.save_front)
+    if save_front_path:
+        print()
+        _save_front_file(result, save_front_path)
+    return 0
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    from repro.serve import serve_front
+
+    serve_front(args.artifact, host=args.host, port=args.port,
+                quiet=not args.verbose)
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "run":
+    if args.command in ("run", "freeze"):
         return _run_csv_command(args)
+    if args.command == "serve":
+        return _serve_command(args)
 
     datasets = generate_ota_datasets(n_runs=args.runs)
     print(datasets.summary())
@@ -230,29 +324,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     checkpoint = getattr(args, "checkpoint", None)  # table2 has no sweep
     resume = getattr(args, "resume", False)
+    sweep_result = None
     if args.command == "figure3":
-        print(run_figure3(datasets, settings, targets=args.targets,
-                          column_cache_path=args.column_cache,
-                          jobs=jobs, checkpoint_path=checkpoint,
-                          resume=resume).render())
+        sweep_result = run_figure3(datasets, settings, targets=args.targets,
+                                   column_cache_path=args.column_cache,
+                                   jobs=jobs, checkpoint_path=checkpoint,
+                                   resume=resume)
+        print(sweep_result.render())
     elif args.command == "table1":
-        print(run_table1(datasets, settings, targets=args.targets,
-                         column_cache_path=args.column_cache,
-                         jobs=jobs, checkpoint_path=checkpoint,
-                         resume=resume).render())
+        sweep_result = run_table1(datasets, settings, targets=args.targets,
+                                  column_cache_path=args.column_cache,
+                                  jobs=jobs, checkpoint_path=checkpoint,
+                                  resume=resume)
+        print(sweep_result.render())
     elif args.command == "table2":
         print(run_table2(datasets, settings, target=args.target,
                          column_cache_path=args.column_cache).render())
     elif args.command == "figure4":
-        print(run_figure4(datasets, settings, targets=args.targets,
-                          column_cache_path=args.column_cache,
-                          jobs=jobs, checkpoint_path=checkpoint,
-                          resume=resume).render())
+        sweep_result = run_figure4(datasets, settings, targets=args.targets,
+                                   column_cache_path=args.column_cache,
+                                   jobs=jobs, checkpoint_path=checkpoint,
+                                   resume=resume)
+        print(sweep_result.render())
     elif args.command == "ablation":
         print(run_ablation(datasets, settings, target=args.target,
                            column_cache_path=args.column_cache,
                            jobs=jobs, checkpoint_path=checkpoint,
                            resume=resume).render())
+    if sweep_result is not None and getattr(args, "save_front", None):
+        _save_front_directory(sweep_result.results, args.save_front)
     return 0
 
 

@@ -20,12 +20,24 @@ The public surface of the core package:
   backends plug in without touching the engine;
 * :class:`~repro.core.model.SymbolicModel` / :class:`~repro.core.model.TradeoffSet`
   -- the resulting error-vs-complexity trade-off of interpretable models;
+* :mod:`repro.core.artifact` -- deployment: freeze a finished trade-off as
+  a small versioned artifact (:func:`~repro.core.artifact.save_front`) and
+  load it back as a prediction-only
+  :class:`~repro.core.artifact.FrozenFront`
+  (:func:`~repro.core.artifact.load_front`), served over HTTP by
+  :mod:`repro.serve`;
 * grammar machinery (:mod:`repro.core.grammar`), expression trees
   (:mod:`repro.core.expression`), operators (:mod:`repro.core.operators`) and
   the NSGA-II layer (:mod:`repro.core.nsga2`) for users who want to extend
   the search.
 """
 
+from repro.core.artifact import (
+    FrontArtifactStore,
+    FrozenFront,
+    load_front,
+    save_front,
+)
 from repro.core.cache_store import (
     ColumnCacheStore,
     FileLock,
@@ -147,6 +159,10 @@ __all__ = [
     "dataset_fingerprint",
     "ColumnCacheStore",
     "RunCheckpointStore",
+    "FrontArtifactStore",
+    "FrozenFront",
+    "save_front",
+    "load_front",
     "TreeCompiler",
     "CompiledKernel",
     "CompilationError",

@@ -88,6 +88,13 @@ class CaffeineResult:
     history: Tuple[GenerationStats, ...]
     settings: CaffeineSettings
     runtime_seconds: float
+    #: identity of the training data the models were evolved on (sha1 of
+    #: shape + bytes of X); travels into frozen artifacts so
+    #: :func:`repro.core.artifact.load_front` can detect serving against
+    #: different data.  None on results unpickled from older builds.
+    dataset_fingerprint: Optional[str] = None
+    #: operator-implementation identity of the run's function set
+    function_set_fingerprint: Optional[Tuple] = None
 
     @property
     def n_models(self) -> int:
@@ -450,6 +457,8 @@ class CaffeineEngine:
             history=tuple(self.history),
             settings=self.settings,
             runtime_seconds=runtime,
+            dataset_fingerprint=dataset_fingerprint(self.train.X),
+            function_set_fingerprint=self.settings.function_set.fingerprint(),
         )
         if store is not None:
             # Replace the generation snapshot with the finished result, so

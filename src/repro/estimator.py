@@ -210,6 +210,50 @@ class SymbolicRegressor:
         self._check_fitted()
         return self.best_model_.expression(precision=precision)
 
+    # ------------------------------------------------------------------
+    # deployment: freeze / thaw the fitted trade-off
+    # ------------------------------------------------------------------
+    def save(self, path) -> int:
+        """Freeze the fitted trade-off as a deployable artifact at ``path``.
+
+        The artifact (see :mod:`repro.core.artifact`) holds the whole
+        Pareto front -- expressions, fitted weights, error/complexity
+        metadata and the run's data/settings fingerprints -- in a
+        versioned, checksummed file.  Returns the number of frozen models.
+        Load it back with :meth:`load` (or :func:`repro.load_front`), or
+        serve it with ``python -m repro serve``.
+        """
+        self._check_fitted()
+        from repro.core.artifact import save_front
+
+        return save_front(self.result_, path)
+
+    @classmethod
+    def load(cls, path, model_selection: str = "test") -> "SymbolicRegressor":
+        """An estimator restored from a :meth:`save` artifact.
+
+        The returned estimator predicts, scores and renders expressions
+        exactly like the one that was saved -- bit-identically -- but holds
+        a :class:`~repro.core.artifact.FrozenFront` as its ``result_``
+        (prediction-only: no history, settings or re-``fit`` state beyond
+        the front itself).
+        """
+        if model_selection not in ("test", "train"):
+            raise ValueError("model_selection must be 'test' or 'train', "
+                             f"got {model_selection!r}")
+        from repro.core.artifact import load_front
+
+        front = load_front(path)
+        estimator = cls(model_selection=model_selection,
+                        feature_names=list(front.variable_names))
+        estimator.result_ = front
+        estimator.pareto_front_ = front.tradeoff
+        estimator.test_pareto_front_ = front.test_tradeoff
+        estimator.best_model_ = front.select(by=model_selection)
+        estimator.n_features_in_ = front.n_variables
+        estimator.feature_names_in_ = front.variable_names
+        return estimator
+
     @property
     def pareto_models_(self) -> TradeoffSet:
         """Alias of ``pareto_front_`` (kept close to the paper's wording)."""
