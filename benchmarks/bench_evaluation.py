@@ -169,8 +169,8 @@ def _run_cached(engine, batches, cache=None, **overrides):
 
 def _batches_equal(left, right) -> bool:
     """Bit-for-bit agreement of two evaluated copies of the same stream."""
-    for left_batch, right_batch in zip(left, right):
-        for a, b in zip(left_batch, right_batch):
+    for left_batch, right_batch in zip(left, right, strict=True):
+        for a, b in zip(left_batch, right_batch, strict=True):
             if a.error != b.error or a.complexity != b.complexity:
                 return False
     return True
@@ -183,7 +183,7 @@ def _paired_speedup(baseline_rounds, candidate_rounds) -> float:
     would let one lucky baseline round on a drifting machine mask a
     genuinely faster candidate."""
     return max(baseline / candidate for baseline, candidate
-               in zip(baseline_rounds, candidate_rounds))
+               in zip(baseline_rounds, candidate_rounds, strict=True))
 
 
 def _measure(engine, batches):
@@ -584,7 +584,7 @@ def _measure_selection_variation(train, shared_population_1000_report,
         clones_per_offspring[genome_backend] = round(_count_node_clones(
             lambda: operators.vary(parent_a, parent_b), 300), 2)
 
-    for name, entry in per_operator.items():
+    for _name, entry in per_operator.items():
         entry["speedup"] = round(
             entry["deepcopy"] / max(entry["shared"], 1e-9), 2)
 
@@ -747,7 +747,7 @@ def _measure_serving(train, tmp_path):
     X, y = train.X, train.y
     stacked = front.predict_all(X)
     equal = all(np.array_equal(row, model.predict(X))
-                for row, model in zip(stacked, models))
+                for row, model in zip(stacked, models, strict=True))
     equal = equal and np.array_equal(
         np.asarray(front.rescore(X, y)),
         np.asarray(rescore_models(models, X, y)), equal_nan=True)

@@ -52,7 +52,7 @@ def _engine_like_vectors(n: int, rng: np.random.Generator):
     complexity = rng.integers(1, 16, size=n) * 10.0 + \
         rng.integers(0, 8, size=n) * 0.25
     error = np.exp(rng.normal(-2.0, 1.0, size=n)) + 0.001 * complexity
-    vectors = [(float(e), float(c)) for e, c in zip(error, complexity)]
+    vectors = [(float(e), float(c)) for e, c in zip(error, complexity, strict=True)]
     for index in rng.integers(0, n, size=n // 10):  # clones
         vectors[int(index)] = vectors[0]
     for index in rng.integers(0, n, size=n // 20):  # infeasible

@@ -89,6 +89,16 @@ a bit-for-bit shim over the Session path; see the migration table in
 ``benchmarks/README.md``.  New column/fit/pareto/evaluation backends
 register by name (:func:`repro.core.register_backend`) and every
 ``CaffeineSettings.*_backend`` field accepts registered names.
+
+The invariants behind these guarantees (bit-identical reductions,
+spawn-safe registration, crash-safe stores, seeded randomness) are
+checked mechanically by :mod:`repro.analysis`, the project's AST-based
+linter: ``python -m repro lint src/`` walks the tree, ``--list-rules``
+and ``--explain <rule-id>`` document each rule's rationale and PR
+provenance, and intentional exceptions carry inline
+``# repro-lint: allow[<rule-id>] -- reason`` waivers.  CI gates on an
+unwaived-finding-free ``src/``; see the "Project invariants" section of
+``benchmarks/README.md``.
 """
 
 from repro.core import (

@@ -54,10 +54,11 @@ from repro.experiments import (
     run_table2,
 )
 
-#: All subcommands: experiment regenerators, the generic ``run``, and the
-#: deployment pair (``freeze`` a front artifact, ``serve`` it over HTTP).
+#: All subcommands: experiment regenerators, the generic ``run``, the
+#: deployment pair (``freeze`` a front artifact, ``serve`` it over HTTP)
+#: and the invariant linter (``lint``, see :mod:`repro.analysis`).
 COMMANDS = ("datasets", "figure3", "table1", "table2", "figure4", "ablation",
-            "run", "freeze", "serve")
+            "run", "freeze", "serve", "lint")
 
 
 def _budget_parser() -> argparse.ArgumentParser:
@@ -228,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TCP port (default: 8000)")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per request to stderr")
+
+    # ``lint`` owns its argv (main() hands off before this parser runs);
+    # registered here only so --help lists it.
+    subparsers.add_parser(
+        "lint", add_help=False,
+        help="check project invariants (see 'python -m repro lint --help')")
     return parser
 
 
@@ -305,6 +312,11 @@ def _serve_command(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command in ("run", "freeze"):
         return _run_csv_command(args)

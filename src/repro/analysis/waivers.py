@@ -1,0 +1,152 @@
+"""Inline waivers: ``# repro-lint: allow[rule-id] -- reason``.
+
+A waiver is the *only* way to silence a finding: an explicit comment naming
+the rule(s) being allowed and the reason the flagged pattern is deliberate::
+
+    return base * (1.0 + 0.25 * random.random())  \
+        # repro-lint: allow[determinism] -- retry jitter is result-neutral
+
+Grammar: ``repro-lint: allow[rule-a, rule-b] -- reason text``.  The rule
+list and the ``--``-separated reason are both mandatory -- a waiver without
+a reason is a finding of its own (``waiver-syntax``), as is a waiver naming
+an unknown rule.  A waiver placed on a code line covers that statement
+(anywhere in a multi-line statement's span); a waiver on a comment-only
+line covers the next statement.  Waivers that suppress nothing are reported
+as ``waiver-unused`` so the inventory can never silently go stale -- every
+waiver in the tree is load-bearing, and deleting one resurfaces its
+finding.  ``waiver-syntax`` / ``waiver-unused`` findings are themselves
+unwaivable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding
+
+__all__ = ["Waiver", "collect_waivers", "apply_waivers",
+           "WAIVER_SYNTAX_RULE", "WAIVER_UNUSED_RULE"]
+
+WAIVER_SYNTAX_RULE = "waiver-syntax"
+WAIVER_UNUSED_RULE = "waiver-unused"
+
+#: rule ids a waiver may never suppress (the waiver machinery itself)
+_UNWAIVABLE = (WAIVER_SYNTAX_RULE, WAIVER_UNUSED_RULE, "parse-error")
+
+_WAIVER_RE = re.compile(
+    r"repro-lint:\s*(?P<verb>[\w-]+)\s*"
+    r"(?:\[(?P<rules>[^\]]*)\])?"
+    r"\s*(?:--\s*(?P<reason>.*\S))?\s*$")
+
+
+@dataclasses.dataclass
+class Waiver:
+    """One parsed waiver comment."""
+
+    path: str
+    line: int           #: line the comment sits on
+    target: int         #: line of the statement it covers
+    rules: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+    def covers(self, finding: Finding) -> bool:
+        return (finding.rule in self.rules
+                and finding.rule not in _UNWAIVABLE
+                and finding.line <= self.target <= finding.end_line)
+
+
+def collect_waivers(source: str, path: str, known_rules: Set[str]
+                    ) -> Tuple[List[Waiver], List[Finding]]:
+    """Parse every waiver comment; malformed ones become findings."""
+    waivers: List[Waiver] = []
+    problems: List[Finding] = []
+    comments: List[Tuple[int, str]] = []
+    code_lines: Set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return [], []  # the engine already reports the parse error
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            comments.append((token.start[0], token.string))
+        elif token.type not in (tokenize.NL, tokenize.NEWLINE,
+                                tokenize.INDENT, tokenize.DEDENT,
+                                tokenize.ENCODING, tokenize.ENDMARKER):
+            for lineno in range(token.start[0], token.end[0] + 1):
+                code_lines.add(lineno)
+
+    for lineno, text in comments:
+        if "repro-lint" not in text:
+            continue
+        match = _WAIVER_RE.search(text)
+        problem = _validate(match, known_rules)
+        if problem is not None:
+            problems.append(Finding(
+                rule=WAIVER_SYNTAX_RULE, path=path, line=lineno, col=1,
+                message=f"malformed waiver: {problem}",
+                hint="write `# repro-lint: allow[rule-id] -- reason`"))
+            continue
+        rules = tuple(r.strip() for r in match.group("rules").split(",")
+                      if r.strip())
+        target = lineno if lineno in code_lines else _next_code_line(
+            lineno, code_lines)
+        waivers.append(Waiver(path=path, line=lineno, target=target,
+                              rules=rules, reason=match.group("reason")))
+    return waivers, problems
+
+
+def _validate(match: Optional[re.Match], known_rules: Set[str]
+              ) -> Optional[str]:
+    """The problem with a waiver comment, or None if it is well-formed."""
+    if match is None:
+        return "expected `allow[rule-id] -- reason` after `repro-lint:`"
+    if match.group("verb") != "allow":
+        return (f"unknown directive {match.group('verb')!r} "
+                f"(only `allow` exists)")
+    if match.group("rules") is None:
+        return "missing `[rule-id]` list"
+    rules = [r.strip() for r in match.group("rules").split(",") if r.strip()]
+    if not rules:
+        return "empty rule list"
+    for rule in rules:
+        if rule in _UNWAIVABLE:
+            return f"rule {rule!r} cannot be waived"
+        if rule not in known_rules:
+            return (f"unknown rule {rule!r} "
+                    f"(see `python -m repro lint --list-rules`)")
+    if not match.group("reason"):
+        return "missing ` -- reason` (every waiver must say why)"
+    return None
+
+
+def _next_code_line(lineno: int, code_lines: Set[int]) -> int:
+    following = [line for line in code_lines if line > lineno]
+    return min(following) if following else lineno
+
+
+def apply_waivers(findings: Sequence[Finding],
+                  collected: Tuple[List[Waiver], List[Finding]],
+                  path: str) -> Iterable[Finding]:
+    """Mark waived findings in place; return waiver-related findings."""
+    waivers, problems = collected
+    for finding in findings:
+        for waiver in waivers:
+            if waiver.covers(finding):
+                finding.waived = True
+                finding.waiver_reason = waiver.reason
+                waiver.used = True
+    extra: List[Finding] = list(problems)
+    for waiver in waivers:
+        if not waiver.used:
+            extra.append(Finding(
+                rule=WAIVER_UNUSED_RULE, path=path, line=waiver.line, col=1,
+                message=(f"waiver for {', '.join(waiver.rules)} suppresses "
+                         f"nothing (reason was: {waiver.reason!r})"),
+                hint="delete the stale waiver (the invariant it excused "
+                     "is no longer violated here)"))
+    return extra

@@ -121,7 +121,7 @@ def solve_dc(circuit: Circuit, max_iterations: int = 200,
     def newton(scale: float, start: Dict[str, float]) -> Dict[str, float]:
         voltages = dict(start)
         previous = None
-        for iteration in range(max_iterations):
+        for _iteration in range(max_iterations):
             matrix, rhs = build_linear_system(circuit, index, omega=0.0)
             matrix *= 1.0  # keep dtype float
             rhs *= scale

@@ -340,7 +340,7 @@ def simulate_ota_performances(
 
     results = {name: np.full(points.shape[0], np.nan) for name in OTA_PERFORMANCE_NAMES}
     for row_index in range(points.shape[0]):
-        point = dict(zip(names, points[row_index]))
+        point = dict(zip(names, points[row_index], strict=True))
         try:
             performances = ota.performances(point)
         except (ValueError, KeyError):

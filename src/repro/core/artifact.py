@@ -142,7 +142,7 @@ def _predict_models(models: Sequence[SymbolicModel], X: np.ndarray,
     groups: Dict[int, List[int]] = {}
     for index, model in enumerate(models):
         groups.setdefault(model.fit.n_terms, []).append(index)
-    for width, indices in groups.items():
+    for _width, indices in groups.items():
         stacked = np.stack([matrices[i] for i in indices])
         rows = predict_linear_batch(
             np.array([models[i].fit.intercept for i in indices]),
@@ -373,6 +373,7 @@ def save_front(result, path: Union[str, os.PathLike]) -> int:
                                           getattr(result,
                                                   "source_runtime_seconds",
                                                   None)),
+        # repro-lint: allow[determinism] -- provenance timestamp, excluded from fingerprints and predictions
         "created_wall_time": time.time(),
     }
     FrontArtifactStore(path).save_document(document)

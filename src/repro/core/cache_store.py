@@ -210,6 +210,7 @@ class FileLock:
                 return
             except FileExistsError:
                 try:
+                    # repro-lint: allow[determinism] -- stale-lock age is wall-clock bookkeeping, never reaches results
                     age = time.time() - self.path.stat().st_mtime
                 except OSError:
                     age = 0.0

@@ -540,6 +540,7 @@ class TreeCompiler:
         """Fraction of requests served by an already-compiled tape."""
         if self.n_kernel_requests == 0:
             return 0.0
+        # repro-lint: allow[errstate] -- scalar int hit-rate statistic, no column arrays
         return self.n_kernel_hits / self.n_kernel_requests
 
     # -- shared operands -----------------------------------------------

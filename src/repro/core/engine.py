@@ -233,7 +233,7 @@ class CaffeineEngine:
         """
         ranked = self._ranked
         if ranked is not None and ranked.individuals is self.population:
-            return [ind for ind, rank in zip(self.population, ranked.ranks)
+            return [ind for ind, rank in zip(self.population, ranked.ranks, strict=True)
                     if rank == 0 and ind.is_feasible]
         feasible = [ind for ind in self.population if ind.is_feasible]
         if not feasible:
@@ -319,6 +319,7 @@ class CaffeineEngine:
             "crowding": (np.array(ranked.crowding, copy=True)
                          if ranked is not None else None),
             "history": tuple(self.history),
+            # repro-lint: allow[determinism] -- snapshot timestamp is provenance, excluded from the resume fingerprint
             "wall_time": time.time(),
         }
 
@@ -468,6 +469,7 @@ class CaffeineEngine:
                 "kind": "result",
                 "fingerprint": self.checkpoint_fingerprint(),
                 "result": result,
+                # repro-lint: allow[determinism] -- result timestamp is provenance, excluded from the resume fingerprint
                 "wall_time": time.time(),
             })
         return result

@@ -262,6 +262,7 @@ class GramPool:
         """Fraction of pair lookups served without a fresh dot product."""
         if self.n_pair_requests == 0:
             return 0.0
+        # repro-lint: allow[errstate] -- scalar int hit-rate statistic, no column arrays
         return 1.0 - self.n_pairs_computed / self.n_pair_requests
 
     # ------------------------------------------------------------------
@@ -328,7 +329,7 @@ class GramPool:
         if pair_keys:
             dots = pair_dots(np.stack(rows_a), np.stack(rows_b))
             self.n_pairs_computed += len(pair_keys)
-            for pair, value in zip(pair_keys, dots):
+            for pair, value in zip(pair_keys, dots, strict=True):
                 self._pairs[pair] = float(value)
             while len(self._pairs) > self.max_pairs:
                 self._pairs.popitem(last=False)
@@ -550,7 +551,7 @@ class ScalarResidualBackend:
                basis_matrices: Sequence[np.ndarray]) -> List[float]:
         """A same-width group, scored one individual at a time."""
         return [self.error(fit, basis_matrix)
-                for fit, basis_matrix in zip(fits, basis_matrices)]
+                for fit, basis_matrix in zip(fits, basis_matrices, strict=True)]
 
 
 class BatchedResidualBackend:
@@ -735,6 +736,7 @@ class PopulationEvaluator:
         """Fraction of basis-column lookups served without re-evaluation."""
         if self.n_column_requests == 0:
             return 0.0
+        # repro-lint: allow[errstate] -- scalar int hit-rate statistic, no column arrays
         return 1.0 - self.n_columns_computed / self.n_column_requests
 
     @property
@@ -742,6 +744,7 @@ class PopulationEvaluator:
         """Fraction of individual evaluations served entirely from cache."""
         if self.n_fit_requests == 0:
             return 0.0
+        # repro-lint: allow[errstate] -- scalar int hit-rate statistic, no column arrays
         return 1.0 - self.n_fits_computed / self.n_fit_requests
 
     def basis_column(self, basis: ProductTerm) -> np.ndarray:
@@ -842,14 +845,14 @@ class PopulationEvaluator:
         if not bases:
             return np.zeros((self.X.shape[0], 0))
         return np.column_stack([self._column_for(key, basis)
-                                for key, basis in zip(keys, bases)])
+                                for key, basis in zip(keys, bases, strict=True)])
 
     def _complexity_from_keys(self, keys: List[Tuple],
                               bases: Sequence[ProductTerm]) -> float:
         """Model complexity from per-basis cached terms (order-preserving sum,
         so bit-identical to :func:`~repro.core.complexity.model_complexity`)."""
         total = []
-        for key, basis in zip(keys, bases):
+        for key, basis in zip(keys, bases, strict=True):
             term = self._complexity_cache.get(key)
             if term is None:
                 term = basis_function_complexity(
@@ -903,7 +906,7 @@ class PopulationEvaluator:
         """
         missing: "OrderedDict[Tuple, ProductTerm]" = OrderedDict()
         for individual, keys in keyed:
-            for key, basis in zip(keys, individual.bases):
+            for key, basis in zip(keys, individual.bases, strict=True):
                 if key not in missing and key not in self._batch_columns \
                         and (self.dataset_key, key) not in self.cache:
                     missing[key] = basis
@@ -916,7 +919,7 @@ class PopulationEvaluator:
         # keys as a computation on its first lookup (via _fresh_keys), so a
         # basis occurrence is counted exactly once per evaluation.
         self._fresh_keys.update(keys)
-        for key, column in zip(keys, columns):
+        for key, column in zip(keys, columns, strict=True):
             self._batch_columns[key] = column
             self.cache.put((self.dataset_key, key), column)
 
@@ -924,12 +927,12 @@ class PopulationEvaluator:
                          bases: List[ProductTerm]) -> List[np.ndarray]:
         if self._backend == "serial" or len(bases) < 2:
             return [self._evaluate_column(basis, key)
-                    for key, basis in zip(keys, bases)]
+                    for key, basis in zip(keys, bases, strict=True)]
         if self._get_executor() is None:
             # A registered backend may decline pooling (factory returned
             # None): run on the calling thread, exactly like "serial".
             return [self._evaluate_column(basis, key)
-                    for key, basis in zip(keys, bases)]
+                    for key, basis in zip(keys, bases, strict=True)]
         if self._backend == "process":
             # map() preserves input order, so results line up with `bases`
             # regardless of completion order.  Pickling failures (custom
@@ -960,7 +963,7 @@ class PopulationEvaluator:
         # compiler, when configured, is thread-safe by design).
         return list(self._get_executor().map(
             lambda pair: self._evaluate_column(pair[1], pair[0]),
-            zip(keys, bases)))
+            zip(keys, bases, strict=True)))
 
     def _get_executor(self):
         """The evaluator's long-lived worker pool (created lazily once).
@@ -1097,9 +1100,9 @@ class GramFitBackend:
         individual.complexity = ev._complexity_from_keys(basis_keys, bases)
         individual.normalization = ev.normalization
         columns = [ev._column_for(key, basis)
-                   for key, basis in zip(basis_keys, bases)]
+                   for key, basis in zip(basis_keys, bases, strict=True)]
         gram, colsums, ydots, finite = self.pool.statistics_for(
-            list(zip(basis_keys, columns)))
+            list(zip(basis_keys, columns, strict=True)))
         if not (finite and self._y_finite):
             # Exactly fit_linear's non-finite rejection, decided from the
             # pool's per-column finite flags instead of a full-matrix scan.
@@ -1149,7 +1152,7 @@ class GramFitBackend:
                 continue
             queued.add(batch_key)
             keyed_columns = [(key, ev._column_for(key, basis))
-                             for key, basis in zip(keys, individual.bases)]
+                             for key, basis in zip(keys, individual.bases, strict=True)]
             prepared_columns.append(keyed_columns)
             groups.setdefault(len(keys), []).append(
                 (batch_key, keyed_columns))
@@ -1163,7 +1166,7 @@ class GramFitBackend:
             ydots = np.empty((n_items, n_bases))
             basis_matrices = []
             finite_rows = np.empty(n_items, dtype=bool)
-            for position, (batch_key, keyed_columns) in enumerate(items):
+            for position, (_batch_key, keyed_columns) in enumerate(items):
                 finite_rows[position] = self.pool.gather_into(
                     keyed_columns, grams[position], colsums[position],
                     ydots[position])
@@ -1198,7 +1201,7 @@ class GramFitBackend:
             scored_fits: List[LinearFit] = []
             scored_matrices = []
             for position, fit, basis_matrix in zip(solvable, fits,
-                                                   solvable_matrices):
+                                                   solvable_matrices, strict=True):
                 if fit is None:
                     ev._batch_fit_results[items[position][0]] = \
                         (None, float("inf"))
@@ -1210,5 +1213,5 @@ class GramFitBackend:
                 continue
             errors = ev._residual_backend.errors(scored_fits, scored_matrices)
             for position, fit, error in zip(scored_positions, scored_fits,
-                                            errors):
+                                            errors, strict=True):
                 ev._batch_fit_results[items[position][0]] = (fit, error)

@@ -78,10 +78,17 @@ from typing import Dict, List, Optional, Tuple, Union
 __all__ = ["InjectedFault", "FaultSpec", "parse_faults", "install",
            "install_from_string", "clear", "active_specs", "fire",
            "kill_point", "raise_point", "stall_point", "timeout_point",
-           "corrupt_file_point", "ENV_VAR"]
+           "corrupt_file_point", "ENV_VAR", "KNOWN_FAULT_POINTS"]
 
 #: environment variable holding a fault-spec string (see module docstring)
 ENV_VAR = "REPRO_FAULTS"
+
+#: every fault point the production code declares (the table above, in the
+#: same order).  An armed spec naming anything else never fires -- which is
+#: why the ``fault-spec`` lint rule checks spec literals against this tuple.
+KNOWN_FAULT_POINTS = ("worker.kill", "worker.exception", "problem.stall",
+                      "fit.exception", "lock.timeout", "store.kill-mid-save",
+                      "store.corrupt")
 
 #: spec keys that configure the spec rather than matching context
 _RESERVED_KEYS = ("times", "delay")

@@ -105,10 +105,9 @@ def _cos(x: np.ndarray) -> np.ndarray:
 
 
 def _protected_tan(x: np.ndarray) -> np.ndarray:
-    result = np.tan(x)
     # Large magnitudes near the poles are left as-is; the evaluation layer
     # rejects individuals that produce non-finite or absurd values.
-    return result
+    return np.tan(x)
 
 
 def _max0(x: np.ndarray) -> np.ndarray:

@@ -144,7 +144,7 @@ class Individual:
             bases_text = " , ".join(b.render(variable_names) for b in self.bases)
             return f"<unfitted model: {bases_text}>"
         parts = [format_number(self.fit.intercept, precision)]
-        for coefficient, basis in zip(self.fit.coefficients, self.bases):
+        for coefficient, basis in zip(self.fit.coefficients, self.bases, strict=True):
             if coefficient == 0.0:
                 continue
             sign = "-" if coefficient < 0 else "+"

@@ -79,7 +79,7 @@ def batch_test_errors(individuals: Sequence, X: np.ndarray,
         group_errors = residual.errors(
             [individuals[i].fit for i in indices],
             [matrices[i] for i in indices])
-        for i, value in zip(indices, group_errors):
+        for i, value in zip(indices, group_errors, strict=True):
             errors[i] = float(value)
     return errors
 
@@ -187,7 +187,7 @@ class SymbolicModel:
         from repro.core.weights import format_number
 
         parts = [format_number(self.fit.intercept, precision)]
-        for coefficient, basis in zip(self.fit.coefficients, self.bases):
+        for coefficient, basis in zip(self.fit.coefficients, self.bases, strict=True):
             if coefficient == 0.0:
                 continue
             sign = "-" if coefficient < 0 else "+"
@@ -206,7 +206,7 @@ class SymbolicModel:
         obtained programmatically.
         """
         used = set()
-        for coefficient, basis in zip(self.fit.coefficients, self.bases):
+        for coefficient, basis in zip(self.fit.coefficients, self.bases, strict=True):
             if coefficient == 0.0:
                 continue
             for vc in basis.variable_combos():

@@ -124,7 +124,7 @@ def rank_population(population: Sequence[T],
     ranked = rank_population_arrays(population, backend=backend)
     return [RankedIndividual(individual, int(rank), float(crowding))
             for individual, rank, crowding
-            in zip(population, ranked.ranks, ranked.crowding)]
+            in zip(population, ranked.ranks, ranked.crowding, strict=True)]
 
 
 def _truncation_order(crowding: Sequence[float]) -> Sequence[int]:

@@ -73,8 +73,8 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     """True when objective vector ``a`` Pareto-dominates ``b`` (minimization)."""
     if len(a) != len(b):
         raise ValueError("objective vectors must have the same length")
-    at_least_as_good = all(x <= y for x, y in zip(a, b))
-    strictly_better = any(x < y for x, y in zip(a, b))
+    at_least_as_good = all(x <= y for x, y in zip(a, b, strict=True))
+    strictly_better = any(x < y for x, y in zip(a, b, strict=True))
     return at_least_as_good and strictly_better
 
 
@@ -306,7 +306,7 @@ def _crowding_distances_python(
     n_objectives = len(objective_vectors[0])
     distances = [0.0] * n
     for m in range(n_objectives):
-        order = sorted(range(n), key=lambda i: objective_vectors[i][m])
+        order = sorted(range(n), key=lambda i, m=m: objective_vectors[i][m])
         lowest = objective_vectors[order[0]][m]
         highest = objective_vectors[order[-1]][m]
         distances[order[0]] = float("inf")

@@ -101,7 +101,7 @@ def rescore_models(models: Sequence[SymbolicModel], X: np.ndarray,
     for normalization, indices in by_normalization.items():
         scored = batch_test_errors([models[i] for i in indices], X, y,
                                    normalization, backend=backend)
-        for i, value in zip(indices, scored):
+        for i, value in zip(indices, scored, strict=True):
             errors[i] = value
     return errors
 
@@ -122,7 +122,7 @@ def rescore_table(tradeoff: TradeoffSet, X: np.ndarray, y: np.ndarray,
         lines.append(title)
     lines.append(f"{'complexity':>12} {'train err %':>12} {'test err %':>12} "
                  f"{'fresh err %':>12}")
-    for model, error in zip(models, fresh):
+    for model, error in zip(models, fresh, strict=True):
         lines.append(
             f"{model.complexity:12.2f} {format_percent(model.train_error):>12} "
             f"{format_percent(model.test_error):>12} "

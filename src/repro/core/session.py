@@ -489,6 +489,7 @@ class Session:
     def _backoff_delay(self, failed_attempt: int) -> float:
         """Exponential backoff with up to 25% jitter (wall-clock only)."""
         base = self.retry_backoff * (2.0 ** failed_attempt)
+        # repro-lint: allow[determinism] -- retry-backoff jitter shapes wall-clock waits only, never results
         return base * (1.0 + 0.25 * random.random())
 
     # ------------------------------------------------------------------

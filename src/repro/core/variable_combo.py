@@ -84,6 +84,7 @@ class VariableCombo:
             raise ValueError("n_variables must be >= 1")
         if max_exponent < 1:
             raise ValueError("max_exponent must be >= 1")
+        # repro-lint: allow[errstate] -- scalar probability from two ints, no column math
         probability = min(1.0, expected_active / n_variables)
         exps = [0] * n_variables
         for i in range(n_variables):

@@ -169,6 +169,7 @@ class Dataset:
 
     def shuffled(self, rng: Optional[np.random.Generator] = None) -> "Dataset":
         """Return a row-shuffled copy (useful for cross-validation splits)."""
+        # repro-lint: allow[determinism] -- interactive convenience default; engine paths always pass a seeded Generator
         rng = np.random.default_rng() if rng is None else rng
         order = rng.permutation(self.n_samples)
         return self.select_rows(order)
@@ -179,6 +180,7 @@ class Dataset:
         """Random split into ``(first, second)`` with ``fraction`` in the first."""
         if not 0.0 < fraction < 1.0:
             raise ValueError("fraction must be in (0, 1)")
+        # repro-lint: allow[determinism] -- interactive convenience default; engine paths always pass a seeded Generator
         rng = np.random.default_rng() if rng is None else rng
         order = rng.permutation(self.n_samples)
         n_first = max(1, int(round(fraction * self.n_samples)))

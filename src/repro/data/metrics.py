@@ -55,7 +55,8 @@ def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
         raise ValueError("y_true and y_pred must have the same length")
     if not np.all(np.isfinite(y_pred)):
         return float("inf")
-    return float(np.mean((y_true - y_pred) ** 2))
+    with np.errstate(all="ignore"):
+        return float(np.mean((y_true - y_pred) ** 2))
 
 
 def normalized_mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
@@ -74,11 +75,12 @@ def normalized_mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
         raise ValueError("y_true and y_pred must have the same length")
     if not np.all(np.isfinite(y_pred)):
         return float("inf")
-    residual = float(np.mean((y_true - y_pred) ** 2))
-    variance = float(np.mean((y_true - np.mean(y_true)) ** 2))
-    if variance <= 1e-300:
-        return 0.0 if residual <= 1e-300 else float("inf")
-    return residual / variance
+    with np.errstate(all="ignore"):
+        residual = float(np.mean((y_true - y_pred) ** 2))
+        variance = float(np.mean((y_true - np.mean(y_true)) ** 2))
+        if variance <= 1e-300:
+            return 0.0 if residual <= 1e-300 else float("inf")
+        return residual / variance
 
 
 def normalized_rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
@@ -88,7 +90,8 @@ def normalized_rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     10-25%", "<10% error"): the root of the variance-normalized MSE.
     """
     nmse = normalized_mse(y_true, y_pred)
-    return float(np.sqrt(nmse)) if np.isfinite(nmse) else float("inf")
+    with np.errstate(all="ignore"):
+        return float(np.sqrt(nmse)) if np.isfinite(nmse) else float("inf")
 
 
 def error_normalization(y_train: np.ndarray) -> float:
@@ -119,7 +122,8 @@ def relative_rmse(y_true: np.ndarray, y_pred: np.ndarray,
         raise ValueError("normalization must be a positive finite scale")
     if not np.all(np.isfinite(y_pred)):
         return float("inf")
-    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)) / normalization)
+    with np.errstate(all="ignore"):
+        return float(np.sqrt(np.mean((y_true - y_pred) ** 2)) / normalization)
 
 
 def relative_rmse_rows(y_true: np.ndarray, predictions_rows: np.ndarray,

@@ -76,6 +76,7 @@ def latin_hypercube(n_samples: int, n_factors: int,
     """
     if n_samples < 1 or n_factors < 1:
         raise ValueError("n_samples and n_factors must be >= 1")
+    # repro-lint: allow[determinism] -- interactive convenience default; paper experiments pass a seeded Generator
     rng = np.random.default_rng() if rng is None else rng
     result = np.empty((n_samples, n_factors), dtype=float)
     for j in range(n_factors):
@@ -130,7 +131,7 @@ class DoePlan:
     def as_dicts(self) -> Tuple[Dict[str, float], ...]:
         """Return the plan as a tuple of ``{variable: value}`` dictionaries."""
         return tuple(
-            dict(zip(self.variable_names, row)) for row in self.points
+            dict(zip(self.variable_names, row, strict=True)) for row in self.points
         )
 
     @classmethod

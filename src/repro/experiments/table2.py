@@ -39,7 +39,7 @@ class Table2Result:
         """True when training error is non-increasing along the sequence."""
         errors = [m.train_error for m in self.models]
         return all(earlier >= later - 1e-12
-                   for earlier, later in zip(errors, errors[1:]))
+                   for earlier, later in zip(errors, errors[1:], strict=False))
 
     def render(self) -> str:
         return models_table(

@@ -139,6 +139,7 @@ def random_tree(n_variables: int, max_depth: int, rng: np.random.Generator,
     def terminal() -> GPNode:
         if rng.random() < 0.6:
             return VariableNode(index=int(rng.integers(n_variables)))
+        # repro-lint: allow[errstate] -- scalar constant draw, exponent bounded in [-2, 2]
         magnitude = 10.0 ** rng.uniform(-2, 2)
         sign = -1.0 if rng.random() < 0.5 else 1.0
         return ConstantNode(value=sign * magnitude)

@@ -60,7 +60,7 @@ class Monomial:
 
     def render(self, variable_names: Sequence[str]) -> str:
         parts = []
-        for name, exponent in zip(variable_names, self.exponents):
+        for name, exponent in zip(variable_names, self.exponents, strict=True):
             if exponent == 0.0:
                 continue
             if exponent == 1.0:

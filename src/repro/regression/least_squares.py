@@ -150,8 +150,9 @@ def _intercept_only_fit(y: np.ndarray, include_intercept: bool) -> LinearFit:
     """The zero-basis-function fit (shared by both entry points)."""
     intercept = float(np.mean(y)) if include_intercept else 0.0
     residuals = y - intercept
+    rss = float(_residual_sum_of_squares(residuals[np.newaxis, :])[0])
     return LinearFit(intercept=intercept, coefficients=np.zeros(0),
-                     residual_sum_of_squares=float(residuals @ residuals),
+                     residual_sum_of_squares=rss,
                      rank=1 if include_intercept else 0, singular=False)
 
 

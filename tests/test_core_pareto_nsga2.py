@@ -258,7 +258,7 @@ class TestArrayNativeSelection:
         `rank_population_arrays` of the survivors -- same survivor list
         (identity and order), bit-equal ranks and crowding."""
         rng = np.random.default_rng(7)
-        for trial in range(20):
+        for _trial in range(20):
             n = int(rng.integers(4, 60))
             target = int(rng.integers(1, n))
             population = self._random_population(rng, n)
